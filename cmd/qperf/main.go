@@ -1,0 +1,40 @@
+// Command qperf measures the peak point-to-point RC Send/Receive bandwidth
+// of a simulated cluster profile, mirroring the qperf tool the paper uses
+// as its line-rate reference.
+//
+// Usage:
+//
+//	qperf -profile edr -size 65536 -total 1073741824
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rshuffle/internal/fabric"
+	"rshuffle/internal/qperf"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "edr", "cluster profile: fdr or edr")
+		size    = flag.Int("size", 64<<10, "message size in bytes")
+		total   = flag.Int64("total", 1<<30, "bytes to transfer")
+	)
+	flag.Parse()
+
+	var prof fabric.Profile
+	switch *profile {
+	case "fdr":
+		prof = fabric.FDR()
+	case "edr":
+		prof = fabric.EDR()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profile)
+		os.Exit(1)
+	}
+	res := qperf.Run(prof, *size, *total)
+	fmt.Printf("%s  msg %d B  %d B in %v  ->  %.2f GiB/s\n",
+		prof.Name, *size, res.Bytes, res.Elapsed, res.GiBps())
+}

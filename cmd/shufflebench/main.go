@@ -1,0 +1,81 @@
+// Command shufflebench regenerates the paper's evaluation: every figure and
+// table of §5 as a text report, measured in virtual time on the simulated
+// FDR/EDR clusters.
+//
+// Usage:
+//
+//	shufflebench -list
+//	shufflebench -exp fig10,fig12
+//	shufflebench -exp all -full -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"rshuffle/internal/experiments"
+)
+
+func main() {
+	var (
+		list = flag.Bool("list", false, "list available experiments and exit")
+		exp  = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
+		full = flag.Bool("full", false, "paper-grade data volumes (slower, smoother numbers)")
+		out  = flag.String("out", "", "also write the report to this file")
+		seed = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("  %-10s %s\n", e.Name, e.What)
+		}
+		return
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	names := strings.Split(*exp, ",")
+	if *exp == "all" {
+		names = names[:0]
+		for _, e := range experiments.All {
+			names = append(names, e.Name)
+		}
+	}
+	opts := experiments.Options{Fast: !*full, Seed: *seed}
+	mode := "fast"
+	if *full {
+		mode = "full"
+	}
+	fmt.Fprintf(w, "rshuffle evaluation reproduction (%s mode, seed %d)\n\n", mode, *seed)
+	for _, name := range names {
+		e := experiments.Find(strings.TrimSpace(name))
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", name)
+			os.Exit(1)
+		}
+		start := time.Now()
+		tables, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Fprintln(w, t.Format())
+		}
+		fmt.Fprintf(w, "  (%s completed in %v wall time)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,133 @@
+// Command tpchq runs TPC-H Q3, Q4, or Q10 on a simulated cluster with a
+// chosen shuffle transport, printing the response time and the result rows.
+//
+// Usage:
+//
+//	tpchq -q 4 -nodes 8 -sf 0.1 -transport mesq
+//	tpchq -q 4 -nodes 8 -sf 0.1 -local        # co-partitioned baseline
+//	tpchq -q 10 -nodes 16 -sf 0.2 -transport mpi -profile fdr
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rshuffle/internal/cluster"
+	"rshuffle/internal/engine"
+	"rshuffle/internal/fabric"
+	"rshuffle/internal/ipoib"
+	"rshuffle/internal/mpi"
+	"rshuffle/internal/shuffle"
+	"rshuffle/internal/tpch"
+)
+
+func main() {
+	var (
+		q         = flag.Int("q", 4, "TPC-H query: 3, 4 or 10")
+		nodes     = flag.Int("nodes", 8, "cluster size")
+		sf        = flag.Float64("sf", 0.05, "TPC-H scale factor")
+		transport = flag.String("transport", "mesq", "mesq, memq, semq, sesq, memq-rd, semq-rd, memq-wr, semq-wr, mpi, ipoib")
+		profile   = flag.String("profile", "edr", "cluster profile: fdr or edr")
+		local     = flag.Bool("local", false, "co-partitioned 'local data' plan (Q4 only)")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+	)
+	flag.Parse()
+
+	var prof fabric.Profile
+	switch *profile {
+	case "fdr":
+		prof = fabric.FDR()
+	case "edr":
+		prof = fabric.EDR()
+	default:
+		fatal("unknown profile %q", *profile)
+	}
+	prof.UDReorderProb = 0
+
+	var factory cluster.ProviderFactory
+	switch *transport {
+	case "mesq":
+		factory = cluster.RDMAProvider(shuffle.Config{Impl: shuffle.SQSR, Endpoints: prof.Threads})
+	case "sesq":
+		factory = cluster.RDMAProvider(shuffle.Config{Impl: shuffle.SQSR, Endpoints: 1})
+	case "memq":
+		factory = cluster.RDMAProvider(shuffle.Config{Impl: shuffle.MQSR, Endpoints: prof.Threads})
+	case "semq":
+		factory = cluster.RDMAProvider(shuffle.Config{Impl: shuffle.MQSR, Endpoints: 1})
+	case "memq-rd":
+		factory = cluster.RDMAProvider(shuffle.Config{Impl: shuffle.MQRD, Endpoints: prof.Threads})
+	case "semq-rd":
+		factory = cluster.RDMAProvider(shuffle.Config{Impl: shuffle.MQRD, Endpoints: 1})
+	case "memq-wr":
+		factory = cluster.RDMAProvider(shuffle.Config{Impl: shuffle.MQWR, Endpoints: prof.Threads})
+	case "semq-wr":
+		factory = cluster.RDMAProvider(shuffle.Config{Impl: shuffle.MQWR, Endpoints: 1})
+	case "mpi":
+		factory = cluster.MPIProvider(mpiConfig())
+	case "ipoib":
+		factory = cluster.IPoIBProvider(ipoibConfig())
+	default:
+		fatal("unknown transport %q", *transport)
+	}
+
+	layout := tpch.Random
+	if *local {
+		if *q != 4 {
+			fatal("-local is only meaningful for Q4")
+		}
+		layout = tpch.CoPartitioned
+	}
+	fmt.Printf("generating TPC-H SF %.3g across %d nodes...\n", *sf, *nodes)
+	db := tpch.Generate(*sf, *nodes, layout, *seed)
+	fmt.Printf("  %d customers, %d orders, %d lineitems (%.1f MiB)\n",
+		db.NCustomer, db.NOrders, db.NLineitem, float64(db.Bytes())/(1<<20))
+
+	c := cluster.New(prof, *nodes, 0, *seed)
+	var res *tpch.QueryResult
+	switch *q {
+	case 3:
+		res = tpch.RunQ3(c, db, factory)
+	case 4:
+		res = tpch.RunQ4(c, db, factory, *local)
+	case 10:
+		res = tpch.RunQ10(c, db, factory)
+	default:
+		fatal("query must be 3, 4 or 10")
+	}
+	if res.Err != nil {
+		fatal("query failed: %v", res.Err)
+	}
+	fmt.Printf("Q%d on %d %s nodes over %s: %v (%d result rows)\n",
+		*q, *nodes, prof.Name, *transport, res.Elapsed, res.Rows)
+	printRows(res.Result)
+}
+
+func printRows(t *engine.Table) {
+	if t == nil {
+		return
+	}
+	for i := 0; i < t.N && i < 25; i++ {
+		b := engine.Batch{Sch: t.Sch, Data: t.Row(i), N: 1}
+		fmt.Printf("  ")
+		for col, typ := range t.Sch.Cols {
+			switch typ {
+			case engine.TInt64:
+				fmt.Printf("%d\t", b.Int64(0, col))
+			case engine.TFloat64:
+				fmt.Printf("%.2f\t", b.Float64(0, col))
+			default:
+				fmt.Printf("%s\t", b.Str(0, col))
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func mpiConfig() mpi.Config     { return mpi.Config{} }
+func ipoibConfig() ipoib.Config { return ipoib.Config{} }

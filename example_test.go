@@ -1,0 +1,57 @@
+package rshuffle_test
+
+import (
+	"fmt"
+
+	"rshuffle"
+)
+
+// Example runs the paper's synthetic receive-throughput workload on a small
+// simulated EDR cluster with the MESQ/SR design and prints the row count
+// (throughput varies with the calibrated cost model, so it is not asserted
+// here; see EXPERIMENTS.md for the measured figures).
+func Example() {
+	prof := rshuffle.EDR()
+	prof.UDReorderProb = 0 // deterministic delivery order for the example
+	c := rshuffle.NewCluster(prof, 2, 4, 1)
+
+	res, err := c.RunBench(rshuffle.BenchOpts{
+		Factory:     rshuffle.RDMA(rshuffle.Config{Impl: rshuffle.SQSR, Endpoints: 4}),
+		RowsPerNode: 100_000,
+	})
+	if err != nil || res.Err != nil {
+		fmt.Println("error:", err, res.Err)
+		return
+	}
+	var rows int64
+	for _, r := range res.RowsPerNode {
+		rows += r
+	}
+	fmt.Printf("shuffled %d rows across %d nodes\n", rows, c.N)
+	// Output:
+	// shuffled 200000 rows across 2 nodes
+}
+
+// ExampleAlgorithms lists the paper's six designs.
+func ExampleAlgorithms() {
+	for _, a := range rshuffle.Algorithms {
+		fmt.Println(a.Name)
+	}
+	// Output:
+	// MEMQ/SR
+	// MEMQ/RD
+	// MESQ/SR
+	// SEMQ/SR
+	// SEMQ/RD
+	// SESQ/SR
+}
+
+// ExampleBroadcast shows the transmission-group abstraction: a single group
+// holding every node broadcasts, singleton groups repartition.
+func ExampleBroadcast() {
+	fmt.Println(rshuffle.Broadcast(3))
+	fmt.Println(rshuffle.Repartition(3))
+	// Output:
+	// [[0 1 2]]
+	// [[0] [1] [2]]
+}

@@ -1,0 +1,3 @@
+module rshuffle
+
+go 1.22

@@ -1,0 +1,39 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"rshuffle/internal/fabric"
+	"rshuffle/internal/shuffle"
+)
+
+func TestCalProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	for _, prof := range []fabric.Profile{fabric.FDR(), fabric.EDR()} {
+		for _, nodes := range []int{8, 16} {
+			fmt.Printf("== %s %d nodes repartition ==\n", prof.Name, nodes)
+			for _, a := range shuffle.Algorithms {
+				cfg := a.Config(prof.Threads)
+				res := benchRun(t, quiet(prof), cfg, nodes, 1_000_000, nil)
+				fmt.Printf("  %-8s %6.2f GiB/s\n", a.Name, res.GiBps())
+			}
+		}
+	}
+	// Message-size sweep, SEMQ/SR and MEMQ/SR on EDR 8 nodes (Fig 9a).
+	fmt.Println("== EDR 8 nodes message size (MQ/SR) ==")
+	for _, bs := range []int{4 << 10, 16 << 10, 64 << 10, 256 << 10} {
+		se := benchRun(t, quiet(fabric.EDR()), shuffle.Config{Impl: shuffle.MQSR, Endpoints: 1, BufSize: bs}, 8, 1_000_000, nil)
+		me := benchRun(t, quiet(fabric.EDR()), shuffle.Config{Impl: shuffle.MQSR, Endpoints: 14, BufSize: bs}, 8, 1_000_000, nil)
+		fmt.Printf("  %6dKiB SEMQ=%6.2f MEMQ=%6.2f\n", bs>>10, se.GiBps(), me.GiBps())
+	}
+	// Broadcast EDR 8 nodes.
+	fmt.Println("== EDR 8 nodes broadcast ==")
+	for _, a := range shuffle.Algorithms {
+		cfg := a.Config(14)
+		res := benchRun(t, quiet(fabric.EDR()), cfg, 8, 150_000, shuffle.Broadcast(8))
+		fmt.Printf("  %-8s %6.2f GiB/s\n", a.Name, res.GiBps())
+	}
+}

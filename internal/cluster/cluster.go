@@ -1,0 +1,312 @@
+// Package cluster provides the experiment harness: it boots a simulated
+// cluster (fabric + verbs devices + worker threads per node), runs shuffle
+// workloads over any transport provider, and reports virtual-time metrics.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"rshuffle/internal/engine"
+	"rshuffle/internal/fabric"
+	"rshuffle/internal/shuffle"
+	"rshuffle/internal/sim"
+	"rshuffle/internal/verbs"
+)
+
+// Cluster is one simulated cluster instance. Create a fresh Cluster per
+// experiment run; the embedded Simulation is single-use.
+type Cluster struct {
+	Sim     *sim.Simulation
+	Net     *fabric.Network
+	Devs    []*verbs.Device
+	N       int
+	Threads int
+}
+
+// New boots a cluster of nodes over the given hardware profile. threads <= 0
+// selects the profile's default thread count.
+func New(prof fabric.Profile, nodes, threads int, seed int64) *Cluster {
+	if threads <= 0 {
+		threads = prof.Threads
+	}
+	s := sim.New(seed)
+	net := fabric.New(s, prof, nodes)
+	return &Cluster{
+		Sim: s, Net: net, Devs: verbs.OpenAll(net),
+		N: nodes, Threads: threads,
+	}
+}
+
+// Ctx returns an operator context for one node's fragment.
+func (c *Cluster) Ctx(node int) *engine.Ctx {
+	return &engine.Ctx{S: c.Sim, Prof: &c.Net.Prof, Threads: c.Threads, Node: node}
+}
+
+// ProviderFactory builds one transport layer for one shuffle operator pair.
+// It runs inside a Proc so it can charge setup time. Implementations exist
+// for the RDMA designs (RDMAProvider), MPI, and IPoIB.
+type ProviderFactory func(p *sim.Proc, c *Cluster) shuffle.Provider
+
+// RDMAProvider returns a factory for one of the paper's RDMA designs.
+func RDMAProvider(cfg shuffle.Config) ProviderFactory {
+	return func(p *sim.Proc, c *Cluster) shuffle.Provider {
+		return shuffle.Build(p, c.Devs, cfg, c.Threads)
+	}
+}
+
+// SyntheticTable generates the §5.1 workload table R with two long integer
+// attributes; R.a is uniformly distributed and randomized.
+func SyntheticTable(seed int64, rows int) *engine.Table {
+	return SyntheticTableWide(seed, rows, 16)
+}
+
+// SyntheticTableZipf generates R with Zipf-distributed keys over the given
+// domain: with exponent s > 0 some partitions receive far more data than
+// others, the skew scenario the flow-join line of work targets (paper §6).
+func SyntheticTableZipf(seed int64, rows int, domain uint64, exponent float64) *engine.Table {
+	sch := engine.NewSchema(engine.TInt64, engine.TInt64)
+	t := engine.NewTable(sch)
+	w := engine.NewWriter(t)
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, 1+exponent, 1, domain-1)
+	for i := 0; i < rows; i++ {
+		w.SetInt64(0, int64(z.Uint64()))
+		w.SetInt64(1, int64(i))
+		w.Done()
+	}
+	return t
+}
+
+// SyntheticTableWide generates R with a configurable record width (a
+// multiple of 8, at least 16): a randomized key, a row id, and padding
+// columns. Wide records drive the zero-copy ablation.
+func SyntheticTableWide(seed int64, rows, width int) *engine.Table {
+	if width < 16 || width%8 != 0 {
+		panic(fmt.Sprintf("cluster: record width %d must be a multiple of 8, >= 16", width))
+	}
+	cols := make([]engine.Type, width/8)
+	for i := range cols {
+		cols[i] = engine.TInt64
+	}
+	t := engine.NewTable(engine.NewSchema(cols...))
+	w := engine.NewWriter(t)
+	rng := newSplitMix(uint64(seed))
+	for i := 0; i < rows; i++ {
+		w.SetInt64(0, int64(rng.next()))
+		w.SetInt64(1, int64(i))
+		w.Done()
+	}
+	return t
+}
+
+// splitMix is a tiny deterministic generator so table synthesis does not
+// consume the simulation's RNG stream.
+type splitMix struct{ x uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{x: seed} }
+func (s *splitMix) next() uint64 {
+	s.x += 0x9E3779B97F4A7C15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// BenchOpts configures a receive-throughput run (§5.1): every node scans a
+// local copy of R and shuffles it on R.a.
+type BenchOpts struct {
+	Factory ProviderFactory
+	// RowsPerNode is the size of each node's local R fragment.
+	RowsPerNode int
+	// Passes streams the table this many times (the paper uses ten).
+	Passes int
+	// Groups is the transmission pattern; nil means repartition.
+	Groups shuffle.Groups
+	// BurnPerBatch makes the receiving fragment compute-intensive (Fig. 13).
+	BurnPerBatch sim.Duration
+	// ReceiveBatchBytes sets the receiving fragment's pull granularity when
+	// BurnPerBatch is used (the paper pulls 32 KiB batches).
+	ReceiveBatchBytes int
+	// RowWidth is the record size in bytes (default 16; must be a multiple
+	// of 8). The zero-copy ablation sweeps it.
+	RowWidth int
+	// ZipfExponent, when positive, draws keys from a Zipf distribution so
+	// some receivers become hot (skew study); zero keeps keys uniform.
+	ZipfExponent float64
+	// ZeroCopy enables the shuffle operator's zero-copy send path.
+	ZeroCopy bool
+}
+
+// BenchResult reports one receive-throughput run.
+type BenchResult struct {
+	// Elapsed is the query response time, excluding connection setup.
+	Elapsed sim.Duration
+	// SetupTime and RegTime are the transport bootstrap costs (Fig. 12).
+	SetupTime, RegTime sim.Duration
+	// BytesPerNode is each node's received payload volume.
+	BytesPerNode []int64
+	// RowsPerNode is each node's received row count.
+	RowsPerNode []int64
+	// SendMemoryPerNode and QPsPerOperator describe the transport (RDMA
+	// providers only; zero otherwise).
+	SendMemoryPerNode int64
+	QPsPerOperator    int
+	// BurnBatches counts node 0's receiving-fragment burn periods when
+	// BurnPerBatch is set (used by the Fig. 13 harness).
+	BurnBatches int64
+	// SendBusyFrac and RecvBusyFrac are the fraction of worker-thread time
+	// spent on CPU work (vs blocked on completions, credit, or buffers) in
+	// the sending and receiving fragments — the paper's §5.1.3 profiling.
+	SendBusyFrac, RecvBusyFrac float64
+	// Err is the first transport error; non-nil means the run must restart.
+	Err error
+}
+
+// ThroughputPerNode returns the mean per-node receive throughput in bytes
+// per second of virtual time.
+func (r *BenchResult) ThroughputPerNode() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	var total float64
+	for _, b := range r.BytesPerNode {
+		total += float64(b)
+	}
+	return total / float64(len(r.BytesPerNode)) / r.Elapsed.Seconds()
+}
+
+// GiBps converts ThroughputPerNode to GiB/s (the unit of Figs. 8-11).
+func (r *BenchResult) GiBps() float64 { return r.ThroughputPerNode() / (1 << 30) }
+
+// RunBenchWithRestart runs the workload like RunBench, but applies the
+// paper's recovery policy for the Unreliable Datagram service: a message
+// count mismatch after the timeout is treated as a network error and the
+// query restarts from scratch (on a fresh cluster, since a Simulation is
+// single-use). It returns the final successful result and the number of
+// restarts; attempts are capped at maxRestarts.
+func RunBenchWithRestart(mk func() *Cluster, opts BenchOpts, maxRestarts int) (*BenchResult, int, error) {
+	restarts := 0
+	for {
+		res, err := mk().RunBench(opts)
+		if err != nil {
+			return nil, restarts, err
+		}
+		if res.Err == nil {
+			return res, restarts, nil
+		}
+		if !errors.Is(res.Err, shuffle.ErrDataLoss) || restarts >= maxRestarts {
+			return res, restarts, res.Err
+		}
+		restarts++
+	}
+}
+
+// RunBench executes the synthetic receive-throughput query to completion
+// and returns its metrics. It owns the cluster's simulation.
+func (c *Cluster) RunBench(opts BenchOpts) (*BenchResult, error) {
+	if opts.Passes <= 0 {
+		opts.Passes = 1
+	}
+	groups := opts.Groups
+	if groups == nil {
+		groups = shuffle.Repartition(c.N)
+	}
+	res := &BenchResult{
+		BytesPerNode: make([]int64, c.N),
+		RowsPerNode:  make([]int64, c.N),
+	}
+	if opts.RowWidth == 0 {
+		opts.RowWidth = 16
+	}
+	tables := make([]*engine.Table, c.N)
+	for a := 0; a < c.N; a++ {
+		if opts.ZipfExponent > 0 {
+			tables[a] = SyntheticTableZipf(int64(a)+1, opts.RowsPerNode, 1<<20, opts.ZipfExponent)
+		} else {
+			tables[a] = SyntheticTableWide(int64(a)+1, opts.RowsPerNode, opts.RowWidth)
+		}
+	}
+	sch := tables[0].Sch
+
+	c.Sim.Spawn("bench", func(p *sim.Proc) {
+		prov := opts.Factory(p, c)
+		if comm, ok := prov.(*shuffle.Comm); ok {
+			res.SetupTime, res.RegTime = comm.SetupTime, comm.RegTime
+			res.SendMemoryPerNode = comm.SendMemoryPerNode
+			res.QPsPerOperator = comm.QPsPerOperator
+		} else if sr, ok := prov.(setupReporter); ok {
+			res.SetupTime, res.RegTime = sr.Setup()
+		}
+		start := p.Now()
+		done := c.Sim.NewWaitGroup("bench")
+		sends := make([]*shuffle.Shuffle, c.N)
+		recvs := make([]*shuffle.Receive, c.N)
+		sendSinks := make([]*engine.Sink, c.N)
+		recvSinks := make([]*engine.Sink, c.N)
+		var node0Burn *engine.Burn
+		for a := 0; a < c.N; a++ {
+			a := a
+			sends[a] = &shuffle.Shuffle{
+				In:   &engine.Scan{T: tables[a], Passes: opts.Passes},
+				Comm: prov, Node: a, G: groups, Key: shuffle.KeyInt64Col(0),
+				ZeroCopy: opts.ZeroCopy,
+			}
+			sendSink := &engine.Sink{In: sends[a]}
+			sendSinks[a] = sendSink
+			done.Add(1)
+			sendSink.Run(c.Ctx(a), fmt.Sprintf("send%d", a), func(p *sim.Proc) { done.Done() })
+
+			bt := 0
+			if opts.ReceiveBatchBytes > 0 {
+				bt = opts.ReceiveBatchBytes / sch.Width()
+			}
+			recvs[a] = &shuffle.Receive{Comm: prov, Node: a, Sch: sch, BatchTuples: bt}
+			var top engine.Operator = recvs[a]
+			var burn *engine.Burn
+			if opts.BurnPerBatch > 0 {
+				burn = &engine.Burn{In: top, PerBatch: opts.BurnPerBatch}
+				top = burn
+			}
+			if a == 0 && burn != nil {
+				node0Burn = burn
+			}
+			recvSink := &engine.Sink{In: top}
+			recvSinks[a] = recvSink
+			done.Add(1)
+			recvSink.Run(c.Ctx(a), fmt.Sprintf("recv%d", a), func(p *sim.Proc) { done.Done() })
+		}
+		c.Sim.Spawn("bench-join", func(p *sim.Proc) {
+			done.Wait(p)
+			res.Elapsed = p.Now().Sub(start)
+			if node0Burn != nil {
+				res.BurnBatches = node0Burn.Batches
+			}
+			var sb, sw, rb, rw sim.Duration
+			for a := 0; a < c.N; a++ {
+				sb += sendSinks[a].Busy
+				sw += sendSinks[a].Blocked
+				rb += recvSinks[a].Busy
+				rw += recvSinks[a].Blocked
+			}
+			if sb+sw > 0 {
+				res.SendBusyFrac = sb.Seconds() / (sb + sw).Seconds()
+			}
+			if rb+rw > 0 {
+				res.RecvBusyFrac = rb.Seconds() / (rb + rw).Seconds()
+			}
+			for a := 0; a < c.N; a++ {
+				res.BytesPerNode[a] = recvs[a].Bytes
+				res.RowsPerNode[a] = recvs[a].Rows
+				if err := shuffle.CheckErr(sends[a], recvs[a]); err != nil && res.Err == nil {
+					res.Err = err
+				}
+			}
+		})
+	})
+	if err := c.Sim.Run(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,615 @@
+package engine
+
+import (
+	"sort"
+
+	"rshuffle/internal/sim"
+)
+
+// Filter passes through rows for which Pred returns true.
+type Filter struct {
+	In   Operator
+	Pred func(b *Batch, i int) bool
+
+	ctx   *Ctx
+	out   []*Batch
+	carry []filterCarry
+}
+
+// filterCarry resumes an input batch whose survivors overflowed the output.
+type filterCarry struct {
+	in  *Batch
+	st  State
+	row int
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *Schema { return f.In.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open(ctx *Ctx) {
+	f.In.Open(ctx)
+	f.ctx = ctx
+	f.out = make([]*Batch, ctx.Threads)
+	f.carry = make([]filterCarry, ctx.Threads)
+	for i := range f.out {
+		f.out[i] = NewBatch(f.In.Schema(), DefaultBatchTuples)
+	}
+}
+
+// Next implements Operator.
+func (f *Filter) Next(p *sim.Proc, tid int) (*Batch, State) {
+	out := f.out[tid]
+	out.Reset()
+	c := &f.carry[tid]
+	for {
+		if c.in == nil {
+			in, st := f.In.Next(p, tid)
+			c.in, c.st, c.row = in, st, 0
+			if in != nil {
+				f.ctx.ChargeTuples(p, in.N)
+			}
+		}
+		if c.in != nil {
+			for ; c.row < c.in.N; c.row++ {
+				if !f.Pred(c.in, c.row) {
+					continue
+				}
+				if out.Full() {
+					return out, MoreData
+				}
+				out.AppendRow(c.in.Row(c.row))
+			}
+		}
+		st := c.st
+		c.in = nil
+		if st == Depleted {
+			return out, Depleted
+		}
+		if out.N >= out.Cap()/2 {
+			return out, MoreData
+		}
+	}
+}
+
+// Close implements Operator.
+func (f *Filter) Close(p *sim.Proc) { f.In.Close(p) }
+
+// Project keeps only the selected columns, in the given order.
+type Project struct {
+	In   Operator
+	Cols []int
+
+	ctx *Ctx
+	sch *Schema
+	out []*Batch
+}
+
+// Schema implements Operator; it is valid before Open.
+func (pr *Project) Schema() *Schema {
+	if pr.sch == nil {
+		pr.sch = pr.In.Schema().Project(pr.Cols...)
+	}
+	return pr.sch
+}
+
+// Open implements Operator.
+func (pr *Project) Open(ctx *Ctx) {
+	pr.In.Open(ctx)
+	pr.ctx = ctx
+	pr.sch = nil
+	pr.sch = pr.Schema()
+	pr.out = make([]*Batch, ctx.Threads)
+	for i := range pr.out {
+		pr.out[i] = NewBatch(pr.sch, DefaultBatchTuples)
+	}
+}
+
+// Next implements Operator.
+func (pr *Project) Next(p *sim.Proc, tid int) (*Batch, State) {
+	in, st := pr.In.Next(p, tid)
+	out := pr.out[tid]
+	out.Reset()
+	if in != nil && in.N > out.Cap() {
+		// The child produces larger batches than the default vector size
+		// (e.g. a Receive configured for 32 KiB pulls); resize once.
+		pr.out[tid] = NewBatch(pr.sch, in.N)
+		out = pr.out[tid]
+	}
+	if in != nil {
+		insch := pr.In.Schema()
+		pr.ctx.ChargeCopy(p, in.N*pr.sch.Width())
+		for i := 0; i < in.N; i++ {
+			row := out.Row(out.N)
+			src := in.Row(i)
+			off := 0
+			for _, c := range pr.Cols {
+				n := insch.Cols[c].Size()
+				copy(row[off:off+n], src[insch.Offset(c):])
+				off += n
+			}
+			out.N++
+		}
+	}
+	return out, st
+}
+
+// Close implements Operator.
+func (pr *Project) Close(p *sim.Proc) { pr.In.Close(p) }
+
+// HashJoin is an in-memory equi-join: it drains Build into a shared hash
+// table (all threads cooperate, with a barrier), then streams Probe,
+// emitting Build-row ++ Probe-row for each match. With Semi set it becomes
+// a right semi-join: each build row is emitted alone, at most once, upon
+// its first probe match (EXISTS semantics).
+type HashJoin struct {
+	Build, Probe       Operator
+	BuildKey, ProbeKey int
+	Semi               bool
+
+	ctx     *Ctx
+	sch     *Schema
+	ht      map[int64][]int32
+	rows    []byte // build-side row store
+	matched []bool // Semi: build rows already emitted
+	built   bool
+	barrier *Barrier
+	out     []*Batch
+	carry   []probeCarry
+	mu      *sim.Mutex
+}
+
+// probeCarry resumes a probe batch whose matches overflowed the output.
+type probeCarry struct {
+	in    *Batch
+	st    State
+	row   int // next probe row to examine
+	match int // next match index within that row's chain
+}
+
+// Schema implements Operator; it is valid before Open.
+func (h *HashJoin) Schema() *Schema {
+	if h.sch == nil {
+		if h.Semi {
+			h.sch = h.Build.Schema()
+		} else {
+			h.sch = h.Build.Schema().Concat(h.Probe.Schema())
+		}
+	}
+	return h.sch
+}
+
+// Open implements Operator.
+func (h *HashJoin) Open(ctx *Ctx) {
+	h.Build.Open(ctx)
+	h.Probe.Open(ctx)
+	h.ctx = ctx
+	h.sch = h.Schema()
+	h.ht = make(map[int64][]int32)
+	h.barrier = NewBarrier(ctx.S, "hashjoin", ctx.Threads)
+	h.mu = ctx.S.NewMutex("hashjoin-build")
+	h.out = make([]*Batch, ctx.Threads)
+	h.carry = make([]probeCarry, ctx.Threads)
+	for i := range h.out {
+		h.out[i] = NewBatch(h.sch, DefaultBatchTuples)
+	}
+}
+
+// buildPhase drains the build child on this thread, inserting into the
+// shared table under a lock (the contention is part of the model).
+func (h *HashJoin) buildPhase(p *sim.Proc, tid int) {
+	bw := h.Build.Schema().Width()
+	for {
+		in, st := h.Build.Next(p, tid)
+		if in != nil && in.N > 0 {
+			h.ctx.ChargeHash(p, in.N)
+			h.ctx.ChargeCopy(p, in.N*bw)
+			h.mu.Lock(p)
+			for i := 0; i < in.N; i++ {
+				k := in.Int64(i, h.BuildKey)
+				h.ht[k] = append(h.ht[k], int32(len(h.rows)/bw))
+				h.rows = append(h.rows, in.Row(i)...)
+			}
+			h.mu.Unlock(p)
+		}
+		if st == Depleted {
+			break
+		}
+	}
+	h.barrier.Wait(p)
+	if h.Semi && h.matched == nil {
+		h.matched = make([]bool, len(h.rows)/bw)
+	}
+	h.built = true
+}
+
+// Next implements Operator.
+func (h *HashJoin) Next(p *sim.Proc, tid int) (*Batch, State) {
+	if !h.built {
+		h.buildPhase(p, tid)
+	}
+	bw := h.Build.Schema().Width()
+	out := h.out[tid]
+	out.Reset()
+	c := &h.carry[tid]
+	for {
+		if c.in == nil {
+			in, st := h.Probe.Next(p, tid)
+			c.in, c.st, c.row, c.match = in, st, 0, 0
+			if in != nil {
+				h.ctx.ChargeHash(p, in.N)
+			}
+		}
+		matched := 0
+		if c.in != nil {
+			for ; c.row < c.in.N; c.row, c.match = c.row+1, 0 {
+				chain := h.ht[c.in.Int64(c.row, h.ProbeKey)]
+				for ; c.match < len(chain); c.match++ {
+					r := int(chain[c.match])
+					if h.Semi && h.matched[r] {
+						continue
+					}
+					if out.Full() {
+						h.ctx.ChargeCopy(p, matched*h.sch.Width())
+						return out, MoreData
+					}
+					row := out.Row(out.N)
+					copy(row, h.rows[r*bw:(r+1)*bw])
+					if h.Semi {
+						h.matched[r] = true
+					} else {
+						copy(row[bw:], c.in.Row(c.row))
+					}
+					out.N++
+					matched++
+				}
+			}
+		}
+		h.ctx.ChargeCopy(p, matched*h.sch.Width())
+		st := c.st
+		c.in = nil
+		if st == Depleted {
+			return out, Depleted
+		}
+		if out.N >= out.Cap()/2 {
+			return out, MoreData
+		}
+	}
+}
+
+// Close implements Operator.
+func (h *HashJoin) Close(p *sim.Proc) {
+	h.Build.Close(p)
+	h.Probe.Close(p)
+}
+
+// AggKind selects the aggregate function.
+type AggKind int
+
+const (
+	// AggCount counts rows.
+	AggCount AggKind = iota
+	// AggSum sums Eval over rows.
+	AggSum
+)
+
+// AggSpec is one aggregate: for AggSum, Eval extracts the addend.
+type AggSpec struct {
+	Kind AggKind
+	Eval func(b *Batch, i int) float64
+}
+
+// HashAgg groups by the byte image of KeyCols and computes Aggs. Threads
+// build per-thread partial tables; the last thread to finish merges them,
+// then results are emitted round-robin across threads.
+// Output schema: key columns followed by one float64 per aggregate.
+type HashAgg struct {
+	In      Operator
+	KeyCols []int
+	Aggs    []AggSpec
+
+	ctx     *Ctx
+	sch     *Schema
+	partial []map[string][]float64
+	merged  []string // deterministic key order
+	table   map[string][]float64
+	done    bool
+	barrier *Barrier
+	cursor  int
+	out     []*Batch
+}
+
+// Schema implements Operator; it is valid before Open.
+func (a *HashAgg) Schema() *Schema {
+	if a.sch == nil {
+		ts := make([]Type, 0, len(a.KeyCols)+len(a.Aggs))
+		for _, c := range a.KeyCols {
+			ts = append(ts, a.In.Schema().Cols[c])
+		}
+		for range a.Aggs {
+			ts = append(ts, TFloat64)
+		}
+		a.sch = NewSchema(ts...)
+	}
+	return a.sch
+}
+
+// Open implements Operator.
+func (a *HashAgg) Open(ctx *Ctx) {
+	a.In.Open(ctx)
+	a.ctx = ctx
+	a.sch = a.Schema()
+	a.partial = make([]map[string][]float64, ctx.Threads)
+	for i := range a.partial {
+		a.partial[i] = make(map[string][]float64)
+	}
+	a.barrier = NewBarrier(ctx.S, "hashagg", ctx.Threads)
+	a.out = make([]*Batch, ctx.Threads)
+	for i := range a.out {
+		a.out[i] = NewBatch(a.sch, DefaultBatchTuples)
+	}
+}
+
+func (a *HashAgg) keyOf(b *Batch, i int) string {
+	insch := b.Sch
+	row := b.Row(i)
+	var key []byte
+	for _, c := range a.KeyCols {
+		off := insch.Offset(c)
+		key = append(key, row[off:off+insch.Cols[c].Size()]...)
+	}
+	return string(key)
+}
+
+func (a *HashAgg) consume(p *sim.Proc, tid int) {
+	part := a.partial[tid]
+	for {
+		in, st := a.In.Next(p, tid)
+		if in != nil && in.N > 0 {
+			a.ctx.ChargeHash(p, in.N)
+			a.ctx.ChargeTuples(p, in.N*len(a.Aggs))
+			for i := 0; i < in.N; i++ {
+				k := a.keyOf(in, i)
+				acc := part[k]
+				if acc == nil {
+					acc = make([]float64, len(a.Aggs))
+					part[k] = acc
+				}
+				for j, spec := range a.Aggs {
+					switch spec.Kind {
+					case AggCount:
+						acc[j]++
+					case AggSum:
+						acc[j] += spec.Eval(in, i)
+					}
+				}
+			}
+		}
+		if st == Depleted {
+			break
+		}
+	}
+	if a.barrier.Wait(p) {
+		// Last thread merges the partials deterministically.
+		a.table = make(map[string][]float64)
+		total := 0
+		for _, part := range a.partial {
+			total += len(part)
+			for k, acc := range part {
+				dst := a.table[k]
+				if dst == nil {
+					a.table[k] = append([]float64(nil), acc...)
+					continue
+				}
+				for j := range dst {
+					dst[j] += acc[j]
+				}
+			}
+		}
+		a.ctx.ChargeHash(p, total)
+		a.merged = make([]string, 0, len(a.table))
+		for k := range a.table {
+			a.merged = append(a.merged, k)
+		}
+		sort.Strings(a.merged)
+	}
+	a.barrier.Wait(p)
+	a.done = true
+}
+
+// Next implements Operator.
+func (a *HashAgg) Next(p *sim.Proc, tid int) (*Batch, State) {
+	if !a.done {
+		a.consume(p, tid)
+	}
+	out := a.out[tid]
+	out.Reset()
+	for out.N < out.Cap() && a.cursor < len(a.merged) {
+		k := a.merged[a.cursor]
+		a.cursor++
+		row := out.Row(out.N)
+		copy(row, k) // key bytes are a prefix of the output row
+		acc := a.table[k]
+		out.N++
+		for j, v := range acc {
+			out.SetFloat64(out.N-1, len(a.KeyCols)+j, v)
+		}
+	}
+	a.ctx.ChargeTuples(p, out.N)
+	if a.cursor >= len(a.merged) {
+		return out, Depleted
+	}
+	return out, MoreData
+}
+
+// Close implements Operator.
+func (a *HashAgg) Close(p *sim.Proc) { a.In.Close(p) }
+
+// TopN fully drains its input, sorts with Less over raw rows, and emits the
+// first N rows (all of them if N <= 0). The sort itself runs on the last
+// arriving thread.
+type TopN struct {
+	In   Operator
+	N    int
+	Less func(sch *Schema, a, b []byte) bool
+
+	ctx     *Ctx
+	rows    [][]byte
+	sorted  bool
+	barrier *Barrier
+	mu      *sim.Mutex
+	cursor  int
+	out     []*Batch
+}
+
+// Schema implements Operator.
+func (t *TopN) Schema() *Schema { return t.In.Schema() }
+
+// Open implements Operator.
+func (t *TopN) Open(ctx *Ctx) {
+	t.In.Open(ctx)
+	t.ctx = ctx
+	t.barrier = NewBarrier(ctx.S, "topn", ctx.Threads)
+	t.mu = ctx.S.NewMutex("topn")
+	t.out = make([]*Batch, ctx.Threads)
+	for i := range t.out {
+		t.out[i] = NewBatch(t.In.Schema(), DefaultBatchTuples)
+	}
+}
+
+// Next implements Operator.
+func (t *TopN) Next(p *sim.Proc, tid int) (*Batch, State) {
+	if !t.sorted {
+		for {
+			in, st := t.In.Next(p, tid)
+			if in != nil && in.N > 0 {
+				t.ctx.ChargeCopy(p, in.N*in.Sch.Width())
+				t.mu.Lock(p)
+				for i := 0; i < in.N; i++ {
+					t.rows = append(t.rows, append([]byte(nil), in.Row(i)...))
+				}
+				t.mu.Unlock(p)
+			}
+			if st == Depleted {
+				break
+			}
+		}
+		if t.barrier.Wait(p) {
+			sch := t.In.Schema()
+			// n log n comparison cost, charged to the sorting thread.
+			n := len(t.rows)
+			if n > 1 {
+				cost := 0
+				for m := n; m > 1; m >>= 1 {
+					cost += n
+				}
+				t.ctx.ChargeTuples(p, cost)
+			}
+			sort.SliceStable(t.rows, func(i, j int) bool {
+				return t.Less(sch, t.rows[i], t.rows[j])
+			})
+			if t.N > 0 && len(t.rows) > t.N {
+				t.rows = t.rows[:t.N]
+			}
+		}
+		t.barrier.Wait(p)
+		t.sorted = true
+	}
+	out := t.out[tid]
+	out.Reset()
+	for out.N < out.Cap() && t.cursor < len(t.rows) {
+		out.AppendRow(t.rows[t.cursor])
+		t.cursor++
+	}
+	if t.cursor >= len(t.rows) {
+		return out, Depleted
+	}
+	return out, MoreData
+}
+
+// Close implements Operator.
+func (t *TopN) Close(p *sim.Proc) { t.In.Close(p) }
+
+// Burn adds a fixed CPU cost per batch pulled through it; the paper's
+// compute-intensity experiment (Fig. 13) uses it to emulate query fragments
+// of varying compute demand.
+type Burn struct {
+	In Operator
+	// PerBatch is the CPU time burned for each batch returned by In.
+	PerBatch sim.Duration
+	// Batches counts burn periods across all threads.
+	Batches int64
+}
+
+// Schema implements Operator.
+func (b *Burn) Schema() *Schema { return b.In.Schema() }
+
+// Open implements Operator.
+func (b *Burn) Open(ctx *Ctx) { b.In.Open(ctx) }
+
+// Next implements Operator.
+func (b *Burn) Next(p *sim.Proc, tid int) (*Batch, State) {
+	in, st := b.In.Next(p, tid)
+	if in != nil && in.N > 0 && b.PerBatch > 0 {
+		b.Batches++
+		p.Sleep(b.PerBatch)
+	}
+	return in, st
+}
+
+// Close implements Operator.
+func (b *Burn) Close(p *sim.Proc) { b.In.Close(p) }
+
+// Sink drains an operator tree from all threads and accumulates counts. Use
+// Run to execute a full plan.
+type Sink struct {
+	In Operator
+
+	Rows  int64
+	Bytes int64
+	// Keep retains all emitted rows when set (for result verification).
+	Keep   bool
+	Result *Table
+	// Busy and Blocked accumulate the worker threads' virtual CPU and wait
+	// times, for utilization profiling.
+	Busy, Blocked sim.Duration
+}
+
+// Run opens the plan and drains it with ctx.Threads worker Procs, invoking
+// done (if non-nil) when every thread has finished and the plan is closed.
+func (s *Sink) Run(ctx *Ctx, name string, done func(p *sim.Proc)) {
+	s.In.Open(ctx)
+	if s.Keep {
+		s.Result = NewTable(s.In.Schema())
+	}
+	wg := ctx.S.NewWaitGroup("sink " + name)
+	for tid := 0; tid < ctx.Threads; tid++ {
+		tid := tid
+		wg.Go(name+"-worker", func(p *sim.Proc) {
+			defer func() {
+				s.Busy += p.BusyTime()
+				s.Blocked += p.BlockedTime()
+			}()
+			for {
+				b, st := s.In.Next(p, tid)
+				if b != nil && b.N > 0 {
+					s.Rows += int64(b.N)
+					s.Bytes += int64(b.N * b.Sch.Width())
+					if s.Keep {
+						s.Result.AppendBatch(b)
+					}
+				}
+				if st == Depleted {
+					return
+				}
+			}
+		})
+	}
+	ctx.S.Spawn(name+"-join", func(p *sim.Proc) {
+		wg.Wait(p)
+		s.In.Close(p)
+		if done != nil {
+			done(p)
+		}
+	})
+}

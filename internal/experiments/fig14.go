@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"rshuffle/internal/cluster"
+	"rshuffle/internal/fabric"
+	"rshuffle/internal/mpi"
+	"rshuffle/internal/shuffle"
+	"rshuffle/internal/sim"
+	"rshuffle/internal/tpch"
+)
+
+// sfPerNode is the scaled-down substitute for the paper's 100 GiB (scale
+// factor 100) per node; virtual-time response scales with data volume, so
+// the MPI/MESQ-SR/local comparisons are volume-independent ratios.
+func (o Options) sfPerNode() float64 {
+	if o.Fast {
+		return 0.02
+	}
+	return 0.05
+}
+
+func mesqFactory(threads int) cluster.ProviderFactory {
+	return cluster.RDMAProvider(shuffle.Config{Impl: shuffle.SQSR, Endpoints: threads})
+}
+
+// Fig14a reproduces Figure 14(a): TPC-H Q4 response time on 8 nodes when
+// upgrading from FDR to EDR, for MPI, MESQ/SR and the co-partitioned
+// "local data" plan.
+func Fig14a(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "Figure 14(a)",
+		Title: "TPC-H Q4 response time, 8 nodes, network upgrade",
+		Unit:  "ms",
+		Cols:  []string{"FDR", "EDR"},
+	}
+	rows := map[string]*Row{
+		"MPI":        {Name: "MPI"},
+		"MESQ/SR":    {Name: "MESQ/SR"},
+		"local data": {Name: "local data"},
+	}
+	for _, prof := range []fabric.Profile{fabric.FDR(), fabric.EDR()} {
+		sf := o.sfPerNode() * 8
+		db := tpch.Generate(sf, 8, tpch.Random, o.Seed)
+		dbLocal := tpch.Generate(sf, 8, tpch.CoPartitioned, o.Seed)
+
+		mres := tpch.RunQ4(cluster.New(quiet(prof), 8, 0, o.Seed), db,
+			cluster.MPIProvider(mpi.Config{}), false)
+		rres := tpch.RunQ4(cluster.New(quiet(prof), 8, 0, o.Seed), db,
+			mesqFactory(prof.Threads), false)
+		lres := tpch.RunQ4(cluster.New(quiet(prof), 8, 0, o.Seed), dbLocal,
+			mesqFactory(prof.Threads), true)
+		for name, r := range map[string]*tpch.QueryResult{
+			"MPI": mres, "MESQ/SR": rres, "local data": lres,
+		} {
+			if r.Err != nil {
+				return nil, fmt.Errorf("Q4 %s on %s: %w", name, prof.Name, r.Err)
+			}
+			rows[name].Vals = append(rows[name].Vals, r.Elapsed.Seconds()*1e3)
+		}
+	}
+	t.Rows = []Row{*rows["MPI"], *rows["MESQ/SR"], *rows["local data"]}
+	t.Notes = append(t.Notes,
+		"paper: MESQ/SR matches the no-shuffle local plan (full overlap) and its gain from the",
+		"upgrade keeps pace with local processing (~50%), while MPI improves only ~30%")
+	return t, nil
+}
+
+// Fig14bcd reproduces Figures 14(b), (c) and (d): response time of Q4, Q3
+// and Q10 as the database grows in proportion to the cluster (scale factor
+// per node held constant), EDR, for MPI and MESQ/SR (plus the local plan
+// for Q4).
+func Fig14bcd(o Options) ([]*Table, error) {
+	prof := fabric.EDR()
+	nodes := []int{2, 4, 8, 16}
+	type qdef struct {
+		id, name string
+		run      func(c *cluster.Cluster, db *tpch.DB, f cluster.ProviderFactory) *tpch.QueryResult
+		local    bool
+	}
+	defs := []qdef{
+		{"Figure 14(b)", "TPC-H Q4",
+			func(c *cluster.Cluster, db *tpch.DB, f cluster.ProviderFactory) *tpch.QueryResult {
+				return tpch.RunQ4(c, db, f, false)
+			}, true},
+		{"Figure 14(c)", "TPC-H Q3", tpch.RunQ3, false},
+		{"Figure 14(d)", "TPC-H Q10", tpch.RunQ10, false},
+	}
+	var out []*Table
+	for _, q := range defs {
+		t := &Table{
+			ID:    q.id,
+			Title: q.name + " response time vs cluster size (database grows with cluster), EDR",
+			Unit:  "ms",
+		}
+		for _, n := range nodes {
+			t.Cols = append(t.Cols, fmt.Sprintf("%dn", n))
+		}
+		mpiRow := Row{Name: "MPI"}
+		rdmaRow := Row{Name: "MESQ/SR"}
+		localRow := Row{Name: "local data"}
+		for _, n := range nodes {
+			sf := o.sfPerNode() * float64(n)
+			db := tpch.Generate(sf, n, tpch.Random, o.Seed)
+			m := q.run(cluster.New(quiet(prof), n, 0, o.Seed), db,
+				cluster.MPIProvider(mpi.Config{}))
+			r := q.run(cluster.New(quiet(prof), n, 0, o.Seed), db,
+				mesqFactory(prof.Threads))
+			if m.Err != nil || r.Err != nil {
+				return nil, fmt.Errorf("%s at %dn: mpi=%v rdma=%v", q.name, n, m.Err, r.Err)
+			}
+			mpiRow.Vals = append(mpiRow.Vals, m.Elapsed.Seconds()*1e3)
+			rdmaRow.Vals = append(rdmaRow.Vals, r.Elapsed.Seconds()*1e3)
+			if q.local {
+				dbl := tpch.Generate(sf, n, tpch.CoPartitioned, o.Seed)
+				l := tpch.RunQ4(cluster.New(quiet(prof), n, 0, o.Seed), dbl,
+					mesqFactory(prof.Threads), true)
+				if l.Err != nil {
+					return nil, fmt.Errorf("%s local at %dn: %v", q.name, n, l.Err)
+				}
+				localRow.Vals = append(localRow.Vals, l.Elapsed.Seconds()*1e3)
+			} else {
+				localRow.Vals = append(localRow.Vals, math.NaN())
+			}
+		}
+		t.Rows = []Row{mpiRow, rdmaRow}
+		if q.local {
+			t.Rows = append(t.Rows, localRow)
+			t.Notes = append(t.Notes,
+				"the optimal line rises with cluster size because of the broadcast pattern")
+		}
+		t.Notes = append(t.Notes,
+			"paper: MESQ/SR scales better than MPI — ~70% faster for Q4, ~55% for Q3, ~2x for Q10 at 16 nodes")
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Table1 reproduces Table 1: the design-space summary, with the Queue Pair
+// counts verified against the built communication layers (n = 16 nodes,
+// t = 14 threads).
+func Table1(o Options) (*Table, error) {
+	const n, threads = 16, 14
+	t := &Table{
+		ID:    "Table 1",
+		Title: fmt.Sprintf("design alternatives for n=%d nodes, t=%d threads", n, threads),
+		Cols:  []string{"QPs/node"},
+	}
+	prof := fabric.EDR()
+	for _, a := range shuffle.Algorithms {
+		c := cluster.New(quiet(prof), n, threads, o.Seed)
+		var qps int
+		c.Sim.Spawn("census", func(p *sim.Proc) {
+			qps = shuffle.Build(p, c.Devs, a.Config(threads), threads).QPsPerOperator
+		})
+		if err := c.Sim.Run(); err != nil {
+			return nil, err
+		}
+		want := map[string]int{
+			"MEMQ/SR": n * threads, "MEMQ/RD": n * threads,
+			"SEMQ/SR": n, "SEMQ/RD": n,
+			"MESQ/SR": threads, "SESQ/SR": 1,
+		}[a.Name]
+		if qps != want {
+			return nil, fmt.Errorf("%s: built %d QPs per operator, Table 1 says %d", a.Name, qps, want)
+		}
+		t.Rows = append(t.Rows, Row{Name: a.Name, Vals: []float64{float64(qps)}})
+	}
+	t.Notes = append(t.Notes,
+		"contention: none (ME), moderate (SEMQ), excessive (SESQ); messaging: RC round-trip w/ hardware",
+		"error control up to 1 GiB, UD half-trip w/ software error control up to 4 KiB (paper Table 1)")
+	return t, nil
+}

@@ -1,0 +1,359 @@
+package fabric
+
+import (
+	"fmt"
+
+	"rshuffle/internal/sim"
+)
+
+// ControlThreshold is the wire size below which a message rides the NIC's
+// control lane: per-packet round-robin QP arbitration lets it depart within
+// about one bulk-packet time instead of queueing behind the bulk backlog.
+const ControlThreshold = 256
+
+// Message is one transmission handed to the fabric. Deliver runs in
+// scheduler context at the instant the last byte reaches the destination
+// host; it must not block. For lost packets Deliver never runs (Dropped runs
+// instead, if set).
+type Message struct {
+	From, To int
+	// FromQP and ToQP identify the Queue Pair state the NICs must touch to
+	// process this message; they key the NIC QP caches.
+	FromQP, ToQP uint64
+	// Payload is the application payload size in bytes.
+	Payload int
+	Service Service
+	// Deliver is invoked at delivery time in scheduler context.
+	Deliver func(at sim.Time)
+	// Sent, if non-nil, is invoked when the source NIC has finished pushing
+	// the message onto the wire (the instant a UD send completion would be
+	// generated).
+	Sent func(at sim.Time)
+	// Dropped, if non-nil, is invoked if the message is lost (UD only).
+	Dropped func()
+}
+
+// NICStats counts per-NIC activity.
+type NICStats struct {
+	TxMessages, RxMessages     int64
+	TxBytes, RxBytes           int64 // payload bytes
+	TxWireBytes                int64
+	QPCacheHits, QPCacheMisses int64
+	UDDropped                  int64
+	ReadRequests               int64
+}
+
+// nic models one host adapter: an uplink serializer, a downlink serializer,
+// and a QP-state cache shared by both directions.
+type nic struct {
+	id     int
+	txBusy sim.Time
+	rxBusy sim.Time
+	cache  *qpCache
+	stats  NICStats
+	// txOrder and rxOrder track the last scheduled departure/arrival per
+	// Queue Pair: Reliable Connection traffic is strictly ordered within a
+	// QP even when the control fast lane would otherwise let a small
+	// message overtake bulk data.
+	txOrder map[uint64]sim.Time
+	rxOrder map[uint64]sim.Time
+}
+
+// orderFloor returns t clamped to be no earlier than the previous value for
+// qp and records the new value.
+func orderFloor(m map[uint64]sim.Time, qp uint64, t sim.Time) sim.Time {
+	if last, ok := m[qp]; ok && last > t {
+		t = last
+	}
+	m[qp] = t
+	return t
+}
+
+// Network is a full-bisection switched fabric connecting n hosts.
+type Network struct {
+	Sim  *sim.Simulation
+	Prof Profile
+	nics []*nic
+
+	// hosts holds one opaque per-node host context (the verbs device), set
+	// by the layer above so its delivery callbacks can dispatch.
+	hosts []any
+
+	// injectUDLoss holds per-destination forced-drop budgets for tests.
+	injectUDLoss map[int]int
+}
+
+// SetHost attaches an opaque host context to node i.
+func (n *Network) SetHost(i int, h any) {
+	if n.hosts == nil {
+		n.hosts = make([]any, len(n.nics))
+	}
+	n.hosts[i] = h
+}
+
+// Host returns the host context attached to node i, or nil.
+func (n *Network) Host(i int) any {
+	if n.hosts == nil {
+		return nil
+	}
+	return n.hosts[i]
+}
+
+// New builds a network of n hosts over the given profile.
+func New(s *sim.Simulation, prof Profile, n int) *Network {
+	net := &Network{Sim: s, Prof: prof, nics: make([]*nic, n), injectUDLoss: map[int]int{}}
+	for i := range net.nics {
+		net.nics[i] = &nic{id: i, cache: newQPCache(prof.QPCacheSize, s.Rand()),
+			txOrder: make(map[uint64]sim.Time), rxOrder: make(map[uint64]sim.Time)}
+	}
+	return net
+}
+
+// Nodes returns the number of hosts.
+func (n *Network) Nodes() int { return len(n.nics) }
+
+// Stats returns a copy of node i's NIC counters.
+func (n *Network) Stats(i int) NICStats { return n.nics[i].stats }
+
+// InjectUDLoss forces the next k UD messages destined to node to be dropped,
+// for fault-injection tests.
+func (n *Network) InjectUDLoss(node, k int) { n.injectUDLoss[node] += k }
+
+// touch charges the QP-cache cost of accessing qp state on nc and returns
+// the penalty to add to the engine occupancy.
+func (nc *nic) touch(qp uint64, prof *Profile) sim.Duration {
+	if nc.cache.touch(qp) {
+		nc.stats.QPCacheHits++
+		return 0
+	}
+	nc.stats.QPCacheMisses++
+	return prof.QPCacheMissPenalty
+}
+
+// Transmit schedules delivery of m. It may be called from Procs or event
+// callbacks. The transmit engine of the source NIC and the receive engine of
+// the destination NIC are serving resources: messages queue in FIFO order
+// and the caller does not block.
+func (n *Network) Transmit(m *Message) {
+	prof := &n.Prof
+	if m.From == m.To {
+		// Hairpin loopback through the NIC; the switch is not traversed.
+		n.loopback(m)
+		return
+	}
+	src, dst := n.nics[m.From], n.nics[m.To]
+	if m.Service == UD && m.Payload > prof.MTU {
+		panic(fmt.Sprintf("fabric: UD payload %d exceeds MTU %d", m.Payload, prof.MTU))
+	}
+	wire := prof.WireBytes(m.Payload, m.Service)
+	control := wire <= ControlThreshold
+
+	now := n.Sim.Now()
+	// Source NIC: WQE fetch + QP state + serialization onto the uplink.
+	txOcc := prof.WQEProcessing + src.touch(m.FromQP, prof) + Serialize(wire, prof.LinkBandwidth)
+	var txDone sim.Time
+	if control {
+		// NICs arbitrate Queue Pairs round-robin at packet granularity, so a
+		// tiny control message (credit write, read request) departs within
+		// about one bulk-packet time even when bulk transfers have a deep
+		// backlog; its bandwidth is still stolen from the bulk lane.
+		txDone = now.Add(Serialize(prof.MTU, prof.LinkBandwidth) + txOcc)
+		src.txBusy = src.txBusy.Add(txOcc)
+		if src.txBusy < now {
+			src.txBusy = now
+		}
+	} else {
+		start := now
+		if src.txBusy > start {
+			start = src.txBusy
+		}
+		txDone = start.Add(txOcc)
+		src.txBusy = txDone
+	}
+	if m.Service == RC {
+		txDone = orderFloor(src.txOrder, m.FromQP, txDone)
+	}
+	src.stats.TxMessages++
+	src.stats.TxBytes += int64(m.Payload)
+	src.stats.TxWireBytes += int64(wire)
+	if m.Sent != nil {
+		n.Sim.At(txDone, func() { m.Sent(n.Sim.Now()) })
+	}
+
+	// Loss and reordering decisions are made now so the whole computation
+	// stays a pure function of the RNG stream (deterministic).
+	lost := false
+	if m.Service == UD {
+		if n.injectUDLoss[m.To] > 0 {
+			n.injectUDLoss[m.To]--
+			lost = true
+		} else if prof.UDLossRate > 0 && n.Sim.Rand().Float64() < prof.UDLossRate {
+			lost = true
+		}
+	}
+	var jitter sim.Duration
+	if m.Service == UD && prof.UDReorderProb > 0 && n.Sim.Rand().Float64() < prof.UDReorderProb {
+		jitter = sim.Duration(n.Sim.Rand().Int63n(int64(prof.UDReorderJitter) + 1))
+	}
+
+	// The message reaches the destination switch port after propagation and
+	// switching, then serializes onto the receiver downlink. The downlink is
+	// the incast bottleneck: simultaneous senders queue here.
+	arrive := txDone.Add(prof.SwitchDelay + prof.PropagationDelay)
+	n.Sim.At(arrive, func() {
+		if lost {
+			dst.stats.UDDropped++
+			if m.Dropped != nil {
+				m.Dropped()
+			}
+			return
+		}
+		rxOcc := dst.touch(m.ToQP, prof) + Serialize(wire, prof.LinkBandwidth)
+		rnow := n.Sim.Now()
+		var rxDone sim.Time
+		if control {
+			// Same packet-granularity arbitration on the switch egress port.
+			rxDone = rnow.Add(Serialize(prof.MTU, prof.LinkBandwidth) + rxOcc)
+			dst.rxBusy = dst.rxBusy.Add(rxOcc)
+			if dst.rxBusy < rnow {
+				dst.rxBusy = rnow
+			}
+		} else {
+			rstart := rnow
+			if dst.rxBusy > rstart {
+				rstart = dst.rxBusy
+			}
+			rxDone = rstart.Add(rxOcc)
+			dst.rxBusy = rxDone
+		}
+		if m.Service == RC {
+			rxDone = orderFloor(dst.rxOrder, m.ToQP, rxDone)
+		}
+		dst.stats.RxMessages++
+		dst.stats.RxBytes += int64(m.Payload)
+		n.Sim.At(rxDone.Add(jitter), func() { m.Deliver(n.Sim.Now()) })
+	})
+}
+
+// TransmitMulticast sends one datagram to every node in dests with a single
+// work request and a single uplink serialization: the switch replicates the
+// packet to each member port, as InfiniBand hardware multicast does. Each
+// member's downlink still serializes its own copy. deliver runs once per
+// reached member; per-member loss and jitter apply independently.
+func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest int, at sim.Time)) {
+	prof := &n.Prof
+	if m.Service != UD {
+		panic("fabric: hardware multicast requires the UD service")
+	}
+	if m.Payload > prof.MTU {
+		panic(fmt.Sprintf("fabric: UD payload %d exceeds MTU %d", m.Payload, prof.MTU))
+	}
+	src := n.nics[m.From]
+	wire := prof.WireBytes(m.Payload, UD)
+
+	now := n.Sim.Now()
+	txOcc := prof.WQEProcessing + src.touch(m.FromQP, prof) + Serialize(wire, prof.LinkBandwidth)
+	start := now
+	if src.txBusy > start {
+		start = src.txBusy
+	}
+	txDone := start.Add(txOcc)
+	src.txBusy = txDone
+	src.stats.TxMessages++
+	src.stats.TxBytes += int64(m.Payload)
+	src.stats.TxWireBytes += int64(wire)
+	if m.Sent != nil {
+		n.Sim.At(txDone, func() { m.Sent(n.Sim.Now()) })
+	}
+
+	for _, d := range dests {
+		d := d
+		if d == m.From {
+			// The switch loops the packet back to an attached sender port.
+			n.Sim.At(txDone, func() { deliver(d, n.Sim.Now()) })
+			continue
+		}
+		lost := false
+		if n.injectUDLoss[d] > 0 {
+			n.injectUDLoss[d]--
+			lost = true
+		} else if prof.UDLossRate > 0 && n.Sim.Rand().Float64() < prof.UDLossRate {
+			lost = true
+		}
+		var jitter sim.Duration
+		if prof.UDReorderProb > 0 && n.Sim.Rand().Float64() < prof.UDReorderProb {
+			jitter = sim.Duration(n.Sim.Rand().Int63n(int64(prof.UDReorderJitter) + 1))
+		}
+		dst := n.nics[d]
+		arrive := txDone.Add(prof.SwitchDelay + prof.PropagationDelay)
+		n.Sim.At(arrive, func() {
+			if lost {
+				dst.stats.UDDropped++
+				if m.Dropped != nil {
+					m.Dropped()
+				}
+				return
+			}
+			rxOcc := dst.touch(m.ToQP, prof) + Serialize(wire, prof.LinkBandwidth)
+			rstart := n.Sim.Now()
+			if dst.rxBusy > rstart {
+				rstart = dst.rxBusy
+			}
+			rxDone := rstart.Add(rxOcc)
+			dst.rxBusy = rxDone
+			dst.stats.RxMessages++
+			dst.stats.RxBytes += int64(m.Payload)
+			n.Sim.At(rxDone.Add(jitter), func() { deliver(d, n.Sim.Now()) })
+		})
+	}
+}
+
+// loopback delivers a self-addressed message through the NIC's hairpin
+// path without traversing the switch: it occupies the transmit engine at
+// the line rate but not the receive downlink.
+func (n *Network) loopback(m *Message) {
+	nc := n.nics[m.From]
+	occ := n.Prof.WQEProcessing + nc.touch(m.FromQP, &n.Prof) +
+		Serialize(m.Payload, n.Prof.LinkBandwidth)
+	start := n.Sim.Now()
+	if nc.txBusy > start {
+		start = nc.txBusy
+	}
+	done := start.Add(occ)
+	nc.txBusy = done
+	if m.Sent != nil {
+		n.Sim.At(done, func() { m.Sent(n.Sim.Now()) })
+	}
+	nc.stats.TxMessages++
+	nc.stats.RxMessages++
+	nc.stats.TxBytes += int64(m.Payload)
+	nc.stats.RxBytes += int64(m.Payload)
+	n.Sim.At(done, func() { m.Deliver(n.Sim.Now()) })
+}
+
+// ReadTransfer models a one-sided RDMA Read: a small request packet travels
+// from the requester to the responder, whose NIC then streams size bytes
+// back without involving the remote CPU. onData runs at the requester when
+// the data has fully arrived.
+func (n *Network) ReadTransfer(requester, responder int, reqQP, respQP uint64, size int, onData func(at sim.Time)) {
+	prof := &n.Prof
+	n.nics[requester].stats.ReadRequests++
+	// Request leg: a control packet addressed to the responder's QP.
+	req := &Message{
+		From: requester, To: responder,
+		FromQP: reqQP, ToQP: respQP,
+		Payload: prof.ReadRequestBytes, Service: RC,
+		Deliver: func(at sim.Time) {
+			// Response leg: the responder NIC DMA-reads local memory and
+			// streams it back; this consumes the responder's uplink.
+			resp := &Message{
+				From: responder, To: requester,
+				FromQP: respQP, ToQP: reqQP,
+				Payload: size, Service: RC,
+				Deliver: onData,
+			}
+			n.Transmit(resp)
+		},
+	}
+	n.Transmit(req)
+}

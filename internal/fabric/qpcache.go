@@ -1,0 +1,45 @@
+package fabric
+
+import "math/rand"
+
+// qpCache models the NIC's on-chip Queue Pair state cache. Real adapters
+// hold a limited number of QP contexts; touching an uncached QP forces a
+// state fetch across PCIe (Dragojević et al. report up to 5× slowdowns from
+// this). Replacement is random, which is both close to NIC behaviour and
+// avoids the LRU scan-thrash cliff: with a working set of w QPs and capacity
+// c < w, the hit rate degrades smoothly as roughly c/w.
+type qpCache struct {
+	cap   int
+	slots []uint64
+	index map[uint64]int
+	rng   *rand.Rand
+}
+
+func newQPCache(capacity int, rng *rand.Rand) *qpCache {
+	return &qpCache{
+		cap:   capacity,
+		index: make(map[uint64]int, capacity),
+		rng:   rng,
+	}
+}
+
+// touch reports whether qp was cached, inserting it (evicting a random
+// victim if full) when it was not.
+func (c *qpCache) touch(qp uint64) bool {
+	if _, ok := c.index[qp]; ok {
+		return true
+	}
+	if len(c.slots) < c.cap {
+		c.index[qp] = len(c.slots)
+		c.slots = append(c.slots, qp)
+		return false
+	}
+	victim := c.rng.Intn(c.cap)
+	delete(c.index, c.slots[victim])
+	c.slots[victim] = qp
+	c.index[qp] = victim
+	return false
+}
+
+// Len returns the number of cached QP states.
+func (c *qpCache) Len() int { return len(c.slots) }

@@ -1,0 +1,103 @@
+// Package qperf reimplements the qperf bandwidth probe the paper uses as a
+// peak-throughput reference: a sender that registers a single buffer and
+// posts RC Sends in a tight loop, and a receiver that re-posts Receives and
+// never touches the transmitted data. The result brackets what any shuffle
+// algorithm can hope to achieve, but — as the paper notes — its design
+// assumptions (one buffer, no consumption) preclude direct comparison.
+package qperf
+
+import (
+	"rshuffle/internal/fabric"
+	"rshuffle/internal/sim"
+	"rshuffle/internal/verbs"
+)
+
+// Result is one qperf measurement.
+type Result struct {
+	Bytes   int64
+	Elapsed sim.Duration
+}
+
+// GiBps returns the measured bandwidth in GiB/s.
+func (r Result) GiBps() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / r.Elapsed.Seconds() / (1 << 30)
+}
+
+// Run measures RC Send/Receive bandwidth between two fresh nodes on the
+// given profile, transferring total bytes in msgSize messages.
+func Run(prof fabric.Profile, msgSize int, total int64) Result {
+	s := sim.New(99)
+	net := fabric.New(s, prof, 2)
+	devs := verbs.OpenAll(net)
+
+	const depth = 64
+	count := int(total / int64(msgSize))
+	var res Result
+
+	scq := devs[0].CreateCQ(2*depth + 8)
+	rcq := devs[1].CreateCQ(2*depth + 8)
+	sqp := devs[0].CreateQP(verbs.QPConfig{Type: fabric.RC, SendCQ: scq, RecvCQ: scq, MaxSend: depth, MaxRecv: 4})
+	rqp := devs[1].CreateQP(verbs.QPConfig{Type: fabric.RC, SendCQ: rcq, RecvCQ: rcq, MaxSend: 4, MaxRecv: 2 * depth})
+	mustNil(sqp.Connect(1, rqp.QPN()))
+	mustNil(rqp.Connect(0, sqp.QPN()))
+
+	sbuf := devs[0].RegisterMRNoCost(make([]byte, msgSize))
+	rbuf := devs[1].RegisterMRNoCost(make([]byte, 2*depth*msgSize))
+
+	s.Spawn("qperf-recv", func(p *sim.Proc) {
+		for i := 0; i < 2*depth; i++ {
+			mustNil(rqp.PostRecv(p, verbs.RecvWR{ID: uint64(i), MR: rbuf, Offset: i * msgSize, Len: msgSize}))
+		}
+		var es [16]verbs.CQE
+		seen := 0
+		var start sim.Time
+		for seen < count {
+			n := rcq.WaitPoll(p, es[:])
+			if seen == 0 && n > 0 {
+				start = p.Now()
+			}
+			for _, c := range es[:n] {
+				seen++
+				res.Bytes += int64(msgSize)
+				slot := int(c.WRID)
+				mustNil(rqp.PostRecv(p, verbs.RecvWR{ID: uint64(slot), MR: rbuf, Offset: slot * msgSize, Len: msgSize}))
+			}
+		}
+		res.Elapsed = p.Now().Sub(start)
+	})
+	s.Spawn("qperf-send", func(p *sim.Proc) {
+		var es [16]verbs.CQE
+		for i := 0; i < count; {
+			// Reap completions as they pile up, as the real tool's send
+			// loop does.
+			for scq.Len() >= depth {
+				scq.Poll(p, es[:])
+			}
+			err := sqp.PostSend(p, verbs.SendWR{Op: verbs.OpSend, MR: sbuf, Len: msgSize})
+			switch err {
+			case nil:
+				i++
+			case verbs.ErrSQFull:
+				scq.WaitPoll(p, es[:])
+			default:
+				panic(err)
+			}
+		}
+		for sqp.Outstanding() > 0 {
+			scq.WaitPoll(p, es[:])
+		}
+	})
+	if err := s.Run(); err != nil {
+		panic(err)
+	}
+	return res
+}
+
+func mustNil(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,35 @@
+package qperf
+
+import (
+	"testing"
+
+	"rshuffle/internal/fabric"
+)
+
+func TestMessageSizeDependence(t *testing.T) {
+	small := Run(fabric.EDR(), 4<<10, 256<<20)
+	large := Run(fabric.EDR(), 64<<10, 256<<20)
+	if small.GiBps() >= large.GiBps() {
+		t.Fatalf("4KiB (%.2f) should be slower than 64KiB (%.2f) due to per-WQE costs",
+			small.GiBps(), large.GiBps())
+	}
+}
+
+func TestProfileOrdering(t *testing.T) {
+	fdr := Run(fabric.FDR(), 64<<10, 256<<20)
+	edr := Run(fabric.EDR(), 64<<10, 256<<20)
+	if edr.GiBps() <= fdr.GiBps() {
+		t.Fatalf("EDR (%.2f) must beat FDR (%.2f)", edr.GiBps(), fdr.GiBps())
+	}
+	if r := edr.GiBps() / fdr.GiBps(); r < 1.6 || r > 2.2 {
+		t.Fatalf("EDR/FDR ratio = %.2f, want ~1.9 (100/56 Gb/s)", r)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := Run(fabric.EDR(), 64<<10, 64<<20)
+	b := Run(fabric.EDR(), 64<<10, 64<<20)
+	if a != b {
+		t.Fatalf("qperf is not deterministic: %+v vs %+v", a, b)
+	}
+}

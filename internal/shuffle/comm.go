@@ -1,0 +1,241 @@
+package shuffle
+
+import (
+	"fmt"
+
+	"rshuffle/internal/sim"
+	"rshuffle/internal/verbs"
+)
+
+// NodeComm holds one node's communication endpoints for a shuffle: Send[k]
+// pairs with Recv[k] on every other node (thread i uses endpoint i mod e,
+// so matching indices talk to each other and the Θ(n·t²) any-core-to-any-
+// core pattern the paper excludes never arises).
+type NodeComm struct {
+	Dev  *verbs.Device
+	Send []SendEndpoint
+	Recv []RecvEndpoint
+}
+
+// Comm is a fully wired cluster-wide communication layer for one shuffle
+// operator pair, built by Build.
+type Comm struct {
+	Cfg     Config
+	Threads int
+	N       int
+	Nodes   []*NodeComm
+
+	// SetupTime is the virtual time spent creating QPs and exchanging
+	// routing information (Fig. 12). RegTime is the additional memory
+	// registration time, reported separately as in the paper.
+	SetupTime sim.Duration
+	RegTime   sim.Duration
+	// QPsPerOperator is the number of Queue Pairs one send operator uses
+	// (the x-axis of Fig. 11).
+	QPsPerOperator int
+	// SendMemoryPerNode is the RDMA-registered memory of one node's send
+	// operator in bytes (Fig. 9b).
+	SendMemoryPerNode int64
+}
+
+// threadsPerEndpoint returns how many worker threads share each endpoint.
+func threadsPerEndpoint(threads, endpoints int) int {
+	tpe := threads / endpoints
+	if threads%endpoints != 0 {
+		tpe++
+	}
+	if tpe < 1 {
+		tpe = 1
+	}
+	return tpe
+}
+
+// Build creates and wires the endpoints of every node for the given
+// configuration. It must run inside a Proc; it charges p the connection
+// setup cost of one node (setup proceeds in parallel across nodes, and
+// nodes are symmetric).
+func Build(p *sim.Proc, devs []*verbs.Device, cfg Config, threads int) *Comm {
+	cfg = cfg.Defaulted()
+	n := len(devs)
+	e := cfg.Endpoints
+	tpe := threadsPerEndpoint(threads, e)
+	c := &Comm{Cfg: cfg, Threads: threads, N: n, Nodes: make([]*NodeComm, n)}
+
+	regBefore := make([]int64, n)
+	for a, d := range devs {
+		regBefore[a] = d.RegisteredBytes()
+		c.Nodes[a] = &NodeComm{Dev: d, Send: make([]SendEndpoint, e), Recv: make([]RecvEndpoint, e)}
+	}
+	prof := &devs[0].Network().Prof
+
+	for k := 0; k < e; k++ {
+		switch cfg.Impl {
+		case MQSR:
+			ss := make([]*srRCSend, n)
+			rr := make([]*srRCRecv, n)
+			for a := 0; a < n; a++ {
+				ss[a] = newSRRCSend(devs[a], cfg, n, tpe)
+				rr[a] = newSRRCRecv(devs[a], cfg, n, tpe)
+			}
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					must(ss[a].qps[b].Connect(b, rr[b].qps[a].QPN()))
+					must(rr[b].qps[a].Connect(a, ss[a].qps[b].QPN()))
+					rr[b].creditWin[a] = remoteWin{rkey: ss[a].creditMR.RKey, base: 8 * b}
+				}
+			}
+			for a := 0; a < n; a++ {
+				rr[a].prime(p)
+				// The initial grant travels with the out-of-band connection
+				// exchange: preset each sender's credit words.
+				for b := 0; b < n; b++ {
+					verbs.PutUint64(ss[b].creditMR.Buf[8*a:], rr[a].creditIssued[b])
+				}
+				c.Nodes[a].Send[k] = ss[a]
+				c.Nodes[a].Recv[k] = rr[a]
+			}
+		case SQSR:
+			ss := make([]*srUDSend, n)
+			rr := make([]*srUDRecv, n)
+			for a := 0; a < n; a++ {
+				ss[a] = newSRUDSend(devs[a], cfg, n, tpe)
+				rr[a] = newSRUDRecv(devs[a], cfg, n, tpe)
+			}
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					ss[a].ahs[b] = verbs.AH{Node: b, QPN: rr[b].qp.QPN()}
+					rr[a].ahs[b] = verbs.AH{Node: b, QPN: ss[b].qp.QPN()}
+				}
+			}
+			if cfg.HWMulticast {
+				mgid := nextMGID()
+				for a := 0; a < n; a++ {
+					ss[a].hwmc = true
+					ss[a].mgid = mgid
+					must(devs[a].AttachMulticast(rr[a].qp, mgid))
+				}
+			}
+			for a := 0; a < n; a++ {
+				ss[a].primeSend(p)
+				rr[a].prime(p)
+				for b := 0; b < n; b++ {
+					ss[b].credit[a] = rr[a].creditIssued[b]
+				}
+				c.Nodes[a].Send[k] = ss[a]
+				c.Nodes[a].Recv[k] = rr[a]
+			}
+		case MQWR:
+			ss := make([]*wrRCSend, n)
+			rr := make([]*wrRCRecv, n)
+			for a := 0; a < n; a++ {
+				rr[a] = newWRRCRecv(devs[a], cfg, n, tpe)
+			}
+			for a := 0; a < n; a++ {
+				ss[a] = newWRRCSend(devs[a], cfg, n, tpe, rr[0].queueCap)
+			}
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					must(ss[a].qps[b].Connect(b, rr[b].qps[a].QPN()))
+					must(rr[b].qps[a].Connect(a, ss[a].qps[b].QPN()))
+					ss[a].slotWin[b] = remoteWin{rkey: rr[b].slotMR.RKey}
+					ss[a].validWin[b] = remoteWin{rkey: rr[b].validArrMR.RKey, base: 8 * a * rr[b].queueCap}
+					rr[b].grantWin[a] = remoteWin{rkey: ss[a].slotArrMR.RKey, base: 8 * b * ss[a].queueCap}
+				}
+			}
+			// Initial grants travel with the out-of-band setup: receiver b
+			// hands its per-source slot partitions to each sender directly.
+			for b := 0; b < n; b++ {
+				perSrc := rr[b].perSrc
+				for a := 0; a < n; a++ {
+					for i := 0; i < perSrc; i++ {
+						slot := (a*perSrc + i) * cfg.BufSize
+						idx := b*ss[a].queueCap + i
+						verbs.PutUint64(ss[a].slotArrMR.Buf[8*idx:], packSlot(slot, 0, false))
+					}
+					rr[b].prod[a] = perSrc
+				}
+			}
+			for a := 0; a < n; a++ {
+				c.Nodes[a].Send[k] = ss[a]
+				c.Nodes[a].Recv[k] = rr[a]
+			}
+		case MQRD:
+			ss := make([]*rdRCSend, n)
+			rr := make([]*rdRCRecv, n)
+			for a := 0; a < n; a++ {
+				ss[a] = newRDRCSend(devs[a], cfg, n, tpe)
+			}
+			for a := 0; a < n; a++ {
+				rr[a] = newRDRCRecv(devs[a], cfg, n, tpe, ss[a].poolBufs)
+			}
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					must(ss[a].qps[b].Connect(b, rr[b].qps[a].QPN()))
+					must(rr[b].qps[a].Connect(a, ss[a].qps[b].QPN()))
+					ss[a].validWin[b] = remoteWin{rkey: rr[b].validArrMR.RKey, base: 8 * a * rr[b].queueCap}
+					rr[b].freeWin[a] = remoteWin{rkey: ss[a].freeArrMR.RKey, base: 8 * b * ss[a].queueCap}
+					rr[b].dataWin[a] = remoteWin{rkey: ss[a].mr.RKey}
+				}
+			}
+			for a := 0; a < n; a++ {
+				c.Nodes[a].Send[k] = ss[a]
+				c.Nodes[a].Recv[k] = rr[a]
+			}
+		}
+	}
+
+	// QP census (one side's send operator; Fig. 11 / Table 1).
+	switch cfg.Impl {
+	case SQSR:
+		c.QPsPerOperator = e
+	default:
+		c.QPsPerOperator = e * n
+	}
+
+	// Setup cost: QP creation/transition plus the out-of-band exchange is
+	// charged per QP (the paper's Fig. 12); memory registration is charged
+	// and reported separately, as the paper finds it negligible (<5 ms).
+	// Nodes set up in parallel, so one node's cost is the elapsed time.
+	qpsPerNode := 2 * c.QPsPerOperator // send side + receive side
+	regBytes := devs[0].RegisteredBytes() - regBefore[0]
+	c.SetupTime = prof.ConnSetupBase + sim.Duration(qpsPerNode)*prof.ConnSetupPerQP
+	c.RegTime = prof.MemRegBase + sim.Duration(float64(regBytes)*prof.MemRegPerByte)
+	p.Sleep(c.SetupTime + c.RegTime)
+
+	// Send-operator registered memory (Fig. 9b): data buffers plus control
+	// structures of the send endpoints of one node.
+	for k := 0; k < e; k++ {
+		switch s := c.Nodes[0].Send[k].(type) {
+		case *srRCSend:
+			c.SendMemoryPerNode += int64(len(s.mr.Buf) + len(s.creditMR.Buf))
+		case *srUDSend:
+			c.SendMemoryPerNode += int64(len(s.mr.Buf) + len(s.creditMR.Buf))
+		case *rdRCSend:
+			c.SendMemoryPerNode += int64(len(s.mr.Buf) + len(s.freeArrMR.Buf) + len(s.stageMR.Buf))
+		case *wrRCSend:
+			c.SendMemoryPerNode += int64(len(s.mr.Buf) + len(s.slotArrMR.Buf) + len(s.stageMR.Buf))
+		}
+	}
+	return c
+}
+
+// SendEndpoints implements Provider.
+func (c *Comm) SendEndpoints(node int) []SendEndpoint { return c.Nodes[node].Send }
+
+// RecvEndpoints implements Provider.
+func (c *Comm) RecvEndpoints(node int) []RecvEndpoint { return c.Nodes[node].Recv }
+
+// mgidSeq hands out process-unique multicast group ids; the value never
+// affects timing, only identity.
+var mgidSeq uint32
+
+func nextMGID() uint32 {
+	mgidSeq++
+	return mgidSeq
+}
+
+func must(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("shuffle: wiring failed: %v", err))
+	}
+}

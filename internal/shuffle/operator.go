@@ -1,0 +1,252 @@
+package shuffle
+
+import (
+	"fmt"
+
+	"rshuffle/internal/engine"
+	"rshuffle/internal/sim"
+)
+
+// KeyInt64Col returns a partitioning hash over an int64 column, mixed with
+// a Fibonacci multiplier so consecutive keys spread across groups.
+func KeyInt64Col(col int) func(sch *engine.Schema, row []byte) uint64 {
+	return func(sch *engine.Schema, row []byte) uint64 {
+		v := uint64(engine.RowInt64(sch, row, col))
+		v *= 0x9E3779B97F4A7C15
+		return v >> 17
+	}
+}
+
+// Shuffle is the data-transmitting SHUFFLE operator (Algorithm 1). It is a
+// leaf of the sending fragment: each worker thread drains the child
+// operator, hashes every tuple to a transmission group, packs tuples into
+// RDMA-registered buffers leased from its endpoint, and transmits full
+// buffers in one RDMA operation. Its Next returns Depleted once the child
+// is drained and end-of-stream has propagated to every receive endpoint.
+type Shuffle struct {
+	In   engine.Operator
+	Comm Provider
+	Node int
+	G    Groups
+	Key  hashKeyFunc
+
+	// ZeroCopy models sending tuples without materializing them into the
+	// transmission buffer: the per-byte copy disappears, but every record
+	// needs its own scatter/gather element in the work request. Following
+	// Kesavan et al. (and §4.3.1), this only pays off for large records —
+	// the library copies by default.
+	ZeroCopy bool
+
+	// Err records the first transport error; the query should restart.
+	Err error
+
+	ctx *engine.Ctx
+	eps []SendEndpoint
+	out [][]*Buf // [tid][group] current output buffer
+	// epUsers counts threads still using each endpoint; the last one out
+	// propagates Depleted (Alg. 1 lines 14-17 generalized to any e).
+	epUsers []int
+	empty   *engine.Batch
+}
+
+// Schema implements engine.Operator; the shuffle transmits its input.
+func (s *Shuffle) Schema() *engine.Schema { return s.In.Schema() }
+
+// Open implements engine.Operator.
+func (s *Shuffle) Open(ctx *engine.Ctx) {
+	s.In.Open(ctx)
+	s.ctx = ctx
+	s.eps = s.Comm.SendEndpoints(s.Node)
+	s.out = make([][]*Buf, ctx.Threads)
+	for i := range s.out {
+		s.out[i] = make([]*Buf, len(s.G))
+	}
+	s.epUsers = make([]int, len(s.eps))
+	for t := 0; t < ctx.Threads; t++ {
+		s.epUsers[t%len(s.eps)]++
+	}
+	s.empty = engine.NewBatch(s.In.Schema(), 1)
+}
+
+func (s *Shuffle) fail(err error) {
+	if s.Err == nil {
+		s.Err = err
+	}
+}
+
+// Next implements engine.Operator: it runs Algorithm 1 to completion for
+// this thread.
+func (s *Shuffle) Next(p *sim.Proc, tid int) (*engine.Batch, engine.State) {
+	target := s.eps[tid%len(s.eps)]
+	sch := s.In.Schema()
+	w := sch.Width()
+	ng := uint64(len(s.G))
+	for {
+		in, st := s.In.Next(p, tid)
+		if in != nil && in.N > 0 && s.Err == nil {
+			s.ctx.ChargeHash(p, in.N)
+			copied := 0
+			for i := 0; i < in.N; i++ {
+				row := in.Row(i)
+				g := int(s.Key(sch, row) % ng)
+				cur := s.out[tid][g]
+				if cur == nil {
+					b, err := target.GetFree(p)
+					if err != nil {
+						s.fail(err)
+						break
+					}
+					cur, s.out[tid][g] = b, b
+				}
+				copy(cur.Data[cur.Len:], row)
+				cur.Len += w
+				copied += w
+				if cur.Len+w > cur.Cap() {
+					if err := target.Send(p, cur, s.G[g]); err != nil {
+						s.fail(err)
+						break
+					}
+					s.out[tid][g] = nil
+				}
+			}
+			if s.ZeroCopy {
+				// One gather element per record instead of the copy.
+				p.Sleep(sim.Duration(in.N) * s.ctx.Prof.SGEPerTuple)
+			} else {
+				s.ctx.ChargeCopy(p, copied)
+			}
+		}
+		if st == engine.Depleted || s.Err != nil {
+			break
+		}
+	}
+	// Flush partial buffers for this thread. A leased buffer always holds
+	// at least one tuple: buffers are leased on first use and the slot is
+	// cleared when a full buffer is transmitted.
+	for g, cur := range s.out[tid] {
+		if cur == nil || s.Err != nil {
+			continue
+		}
+		if err := target.Send(p, cur, s.G[g]); err != nil {
+			s.fail(err)
+		}
+		s.out[tid][g] = nil
+	}
+	// The last thread using this endpoint propagates end-of-stream.
+	ep := tid % len(s.eps)
+	s.epUsers[ep]--
+	if s.epUsers[ep] == 0 && s.Err == nil {
+		if err := target.Finish(p); err != nil {
+			s.fail(err)
+		}
+	}
+	return s.empty, engine.Depleted
+}
+
+// Close implements engine.Operator.
+func (s *Shuffle) Close(p *sim.Proc) { s.In.Close(p) }
+
+// Receive is the data-receiving RECEIVE operator (Algorithm 2). It is the
+// leaf of the receiving fragment: each call pulls transmission buffers from
+// the thread's endpoint, copies tuples into a thread-local output batch,
+// releases the buffer, and returns the batch when full.
+type Receive struct {
+	Comm Provider
+	Node int
+	// Sch is the schema of the rows being received (the sending shuffle's
+	// input schema).
+	Sch *engine.Schema
+	// BatchTuples overrides the output batch capacity (0 = engine default).
+	// The paper's compute-intensity experiment pulls 32 KiB batches.
+	BatchTuples int
+
+	// Err records the first transport error observed by any thread.
+	Err error
+	// Bytes counts payload bytes received across all threads.
+	Bytes int64
+	// Rows counts tuples received.
+	Rows int64
+
+	ctx  *engine.Ctx
+	eps  []RecvEndpoint
+	out  []*engine.Batch
+	pend []*pendingData // per-thread partially consumed buffer
+}
+
+type pendingData struct {
+	d   *Data
+	off int
+}
+
+// Schema implements engine.Operator.
+func (r *Receive) Schema() *engine.Schema { return r.Sch }
+
+// Open implements engine.Operator.
+func (r *Receive) Open(ctx *engine.Ctx) {
+	r.ctx = ctx
+	r.eps = r.Comm.RecvEndpoints(r.Node)
+	r.out = make([]*engine.Batch, ctx.Threads)
+	r.pend = make([]*pendingData, ctx.Threads)
+	bt := r.BatchTuples
+	if bt <= 0 {
+		bt = engine.DefaultBatchTuples
+	}
+	for i := range r.out {
+		r.out[i] = engine.NewBatch(r.Sch, bt)
+	}
+}
+
+// Next implements engine.Operator.
+func (r *Receive) Next(p *sim.Proc, tid int) (*engine.Batch, engine.State) {
+	target := r.eps[tid%len(r.eps)]
+	out := r.out[tid]
+	out.Reset()
+	for {
+		var d *Data
+		var off int
+		if pd := r.pend[tid]; pd != nil {
+			d, off = pd.d, pd.off
+			r.pend[tid] = nil
+		} else {
+			var err error
+			d, err = target.GetData(p)
+			if err != nil {
+				if r.Err == nil {
+					r.Err = err
+				}
+				return out, engine.Depleted
+			}
+			if d == nil {
+				return out, engine.Depleted
+			}
+		}
+		n := out.AppendRows(d.Payload[off:])
+		consumed := n * r.Sch.Width()
+		r.ctx.ChargeCopy(p, consumed)
+		r.Bytes += int64(consumed)
+		r.Rows += int64(n)
+		off += consumed
+		if off < len(d.Payload) {
+			r.pend[tid] = &pendingData{d: d, off: off}
+			return out, engine.MoreData
+		}
+		target.Release(p, d)
+		if out.Full() {
+			return out, engine.MoreData
+		}
+	}
+}
+
+// Close implements engine.Operator.
+func (r *Receive) Close(p *sim.Proc) {}
+
+// CheckErr returns the first transport error seen by either side.
+func CheckErr(sh *Shuffle, rc *Receive) error {
+	if sh != nil && sh.Err != nil {
+		return fmt.Errorf("shuffle send: %w", sh.Err)
+	}
+	if rc != nil && rc.Err != nil {
+		return fmt.Errorf("shuffle recv: %w", rc.Err)
+	}
+	return nil
+}

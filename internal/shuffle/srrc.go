@@ -1,0 +1,357 @@
+package shuffle
+
+import (
+	"fmt"
+	"time"
+
+	"rshuffle/internal/fabric"
+	"rshuffle/internal/sim"
+	"rshuffle/internal/verbs"
+)
+
+// waitQuantum is the polling granularity of endpoint wait loops; it bounds
+// the latency of observing conditions that have no direct wakeup path.
+const waitQuantum = 200 * time.Microsecond
+
+// remoteWin addresses a window of remote registered memory.
+type remoteWin struct {
+	rkey uint32
+	base int
+}
+
+// srRCSend implements the SEND endpoint with RDMA Send/Receive over the
+// Reliable Connection service (§4.4.1, Fig. 5a). One QP per peer node; the
+// sender transmits while it holds credit, where credit is the absolute
+// number of Receive requests the peer has posted, written into creditMR by
+// the receiver via RDMA Write.
+type srRCSend struct {
+	dev *verbs.Device
+	cfg Config
+	n   int
+
+	qps []*verbs.QP // per destination node
+	cq  *verbs.CQ   // send completions for all QPs (one poll serves all)
+
+	gate epGate
+
+	mr       *verbs.MR // transmission buffer pool
+	poolBufs int
+	free     *sim.Queue[int] // free buffer offsets
+	pending  map[int]int     // buffer offset -> outstanding send completions
+
+	sent     []uint64  // per dest: sends posted on this connection
+	creditMR *verbs.MR // per dest 8-byte absolute credit, written by peers
+}
+
+func (e *srRCSend) buf(off int) *Buf {
+	return &Buf{Data: e.mr.Buf[off+HeaderSize : off+e.cfg.BufSize], off: off}
+}
+
+// GetFree implements SendEndpoint: it polls the send CQ until a buffer has
+// completed toward every member of its transmission group.
+func (e *srRCSend) GetFree(p *sim.Proc) (*Buf, error) {
+	var waited sim.Duration
+	for {
+		if off, ok := e.free.TryGet(); ok {
+			return e.buf(off), nil
+		}
+		var es [16]verbs.CQE
+		if !e.cq.WaitNonEmpty(p, waitQuantum) {
+			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+				return nil, fmt.Errorf("%w: GetFree on node %d", ErrStalled, e.dev.Node())
+			}
+			continue
+		}
+		waited = 0
+		n := e.gate.poll(p, e.cq, es[:])
+		e.reap(es[:n])
+	}
+}
+
+// reap processes send completions, returning fully-completed buffers to the
+// free list.
+func (e *srRCSend) reap(es []verbs.CQE) {
+	for _, c := range es {
+		off := int(c.WRID)
+		e.pending[off]--
+		if e.pending[off] == 0 {
+			delete(e.pending, off)
+			e.free.Put(off)
+		}
+	}
+}
+
+// waitCredit blocks until the connection to dest has spare credit, then
+// consumes one unit.
+func (e *srRCSend) waitCredit(p *sim.Proc, dest int) error {
+	var waited sim.Duration
+	for {
+		credit := verbs.ReadUint64(e.creditMR.Buf[8*dest:])
+		if e.sent[dest] < credit {
+			e.sent[dest]++
+			return nil
+		}
+		if !e.dev.WaitMemChange(p, waitQuantum) {
+			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+				return fmt.Errorf("%w: waiting for credit from node %d", ErrStalled, dest)
+			}
+			continue
+		}
+		waited = 0
+	}
+}
+
+func (e *srRCSend) post(p *sim.Proc, dest, off, length int) error {
+	for {
+		err := e.gate.post(p, e.qps[dest], verbs.SendWR{
+			ID: uint64(off), Op: verbs.OpSend,
+			MR: e.mr, Offset: off, Len: length,
+		})
+		if err == nil {
+			return nil
+		}
+		if err != verbs.ErrSQFull {
+			return err
+		}
+		var es [16]verbs.CQE
+		e.cq.WaitNonEmpty(p, 0)
+		n := e.gate.poll(p, e.cq, es[:])
+		e.reap(es[:n])
+	}
+}
+
+func (e *srRCSend) send(p *sim.Proc, b *Buf, dest []int, flags uint16) error {
+	putHeader(e.mr.Buf[b.off:], header{payload: b.Len, flags: flags, src: uint16(e.dev.Node())})
+	e.pending[b.off] = len(dest)
+	for _, d := range dest {
+		if err := e.waitCredit(p, d); err != nil {
+			return err
+		}
+		if err := e.post(p, d, b.off, HeaderSize+b.Len); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Send implements SendEndpoint.
+func (e *srRCSend) Send(p *sim.Proc, b *Buf, dest []int) error {
+	return e.send(p, b, dest, 0)
+}
+
+// Finish implements SendEndpoint: a zero-payload buffer tagged Depleted is
+// multicast to every node, then in-flight sends are drained.
+func (e *srRCSend) Finish(p *sim.Proc) error {
+	b, err := e.GetFree(p)
+	if err != nil {
+		return err
+	}
+	all := make([]int, e.n)
+	for i := range all {
+		all[i] = i
+	}
+	b.Len = 0
+	if err := e.send(p, b, all, flagDepleted); err != nil {
+		return err
+	}
+	var waited sim.Duration
+	for len(e.pending) > 0 {
+		var es [16]verbs.CQE
+		if !e.cq.WaitNonEmpty(p, waitQuantum) {
+			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+				return fmt.Errorf("%w: Finish flush on node %d", ErrStalled, e.dev.Node())
+			}
+			continue
+		}
+		waited = 0
+		n := e.gate.poll(p, e.cq, es[:])
+		e.reap(es[:n])
+	}
+	return nil
+}
+
+// srRCRecv implements the RECEIVE endpoint over RC Send/Receive (Fig. 5b).
+// It pre-posts receive buffers per source, and after every
+// CreditFrequency-th post writes the absolute credit back into the sender's
+// creditMR with RDMA Write.
+type srRCRecv struct {
+	dev *verbs.Device
+	cfg Config
+	n   int
+
+	qps []*verbs.QP // per source node
+	rcq *verbs.CQ   // receive completions, shared by all QPs
+	wcq *verbs.CQ   // completions of outgoing credit writes
+
+	gate epGate
+
+	bufMR   *verbs.MR // receive slots, perSrc per source
+	perSrc  int
+	stageMR *verbs.MR // per source 8-byte staging for credit writes
+
+	creditIssued []uint64 // absolute receives posted per source
+	lastWritten  []uint64
+	creditWin    []remoteWin // where each sender keeps my credit slot
+
+	depleted int // sources that have sent their Depleted marker
+}
+
+func (e *srRCRecv) slotOff(slot int) int { return slot * e.cfg.BufSize }
+func (e *srRCRecv) slotSrc(slot int) int { return slot / e.perSrc }
+
+// repost returns slot to its source QP and advances the credit protocol.
+func (e *srRCRecv) repost(p *sim.Proc, slot int) {
+	src := e.slotSrc(slot)
+	err := e.gate.postRecv(p, e.qps[src], verbs.RecvWR{
+		ID: uint64(slot), MR: e.bufMR, Offset: e.slotOff(slot), Len: e.cfg.BufSize,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("shuffle: repost recv failed on node %d: %v", e.dev.Node(), err))
+	}
+	e.creditIssued[src]++
+	if e.creditIssued[src]-e.lastWritten[src] >= uint64(e.cfg.CreditFrequency) {
+		e.writeCredit(p, src)
+	}
+	// Reap completed credit writes opportunistically.
+	var es [8]verbs.CQE
+	for e.wcq.Len() > 0 {
+		e.gate.poll(p, e.wcq, es[:])
+	}
+}
+
+// writeCredit transmits the absolute credit for src with RDMA Write.
+func (e *srRCRecv) writeCredit(p *sim.Proc, src int) {
+	e.lastWritten[src] = e.creditIssued[src]
+	verbs.PutUint64(e.stageMR.Buf[8*src:], e.creditIssued[src])
+	err := e.gate.post(p, e.qps[src], verbs.SendWR{
+		Op: verbs.OpWrite, MR: e.stageMR, Offset: 8 * src, Len: 8, Inline: true,
+		RemoteKey: e.creditWin[src].rkey, RemoteOffset: e.creditWin[src].base,
+	})
+	if err == verbs.ErrSQFull {
+		var es [8]verbs.CQE
+		e.wcq.WaitNonEmpty(p, 0)
+		e.gate.poll(p, e.wcq, es[:])
+		e.writeCredit(p, src)
+		return
+	}
+	if err != nil {
+		panic(fmt.Sprintf("shuffle: credit write failed: %v", err))
+	}
+}
+
+// GetData implements RecvEndpoint.
+func (e *srRCRecv) GetData(p *sim.Proc) (*Data, error) {
+	var waited sim.Duration
+	for {
+		var es [1]verbs.CQE
+		if e.gate.poll(p, e.rcq, es[:]) == 1 {
+			waited = 0
+			slot := int(es[0].WRID)
+			off := e.slotOff(slot)
+			h := getHeader(e.bufMR.Buf[off:])
+			if h.flags&flagDepleted != 0 {
+				e.depleted++
+				if e.depleted >= e.n {
+					e.rcq.Kick()
+				}
+				if h.payload == 0 {
+					e.repost(p, slot)
+					continue
+				}
+			}
+			return &Data{
+				Src:     int(h.src),
+				Payload: e.bufMR.Buf[off+HeaderSize : off+HeaderSize+h.payload],
+				slot:    slot,
+			}, nil
+		}
+		if e.depleted >= e.n {
+			return nil, nil
+		}
+		if !e.rcq.WaitNonEmpty(p, waitQuantum) {
+			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+				return nil, fmt.Errorf("%w: GetData on node %d (%d/%d sources depleted)",
+					ErrStalled, e.dev.Node(), e.depleted, e.n)
+			}
+		}
+	}
+}
+
+// Release implements RecvEndpoint.
+func (e *srRCRecv) Release(p *sim.Proc, d *Data) {
+	e.repost(p, d.slot)
+}
+
+// newSRRCPair builds the per-node send and receive endpoint halves; comm
+// wiring connects QPs and exchanges windows afterwards.
+func newSRRCSend(dev *verbs.Device, cfg Config, n, tpe int) *srRCSend {
+	pool := tpe * n * cfg.BuffersPerPeer
+	e := &srRCSend{
+		dev: dev, cfg: cfg, n: n,
+		poolBufs: pool,
+		gate:     newEPGate(dev.Network().Sim, fmt.Sprintf("srrc-send@%d", dev.Node())),
+		free:     sim.NewQueue[int](dev.Network().Sim, fmt.Sprintf("srrc-free@%d", dev.Node())),
+		pending:  make(map[int]int),
+		sent:     make([]uint64, n),
+	}
+	e.cq = dev.CreateCQ(2*pool*n + 64)
+	e.mr = dev.RegisterMRNoCost(make([]byte, pool*cfg.BufSize))
+	e.creditMR = dev.RegisterMRNoCost(make([]byte, 8*n))
+	for i := 0; i < pool; i++ {
+		e.free.Put(i * cfg.BufSize)
+	}
+	e.qps = make([]*verbs.QP, n)
+	for d := 0; d < n; d++ {
+		e.qps[d] = dev.CreateQP(verbs.QPConfig{
+			Type: fabric.RC, SendCQ: e.cq, RecvCQ: e.cq,
+			MaxSend: 2*pool + 16, MaxRecv: 4,
+		})
+	}
+	return e
+}
+
+func newSRRCRecv(dev *verbs.Device, cfg Config, n, tpe int) *srRCRecv {
+	perSrc := tpe * cfg.RecvBuffersPerPeer
+	e := &srRCRecv{
+		dev: dev, cfg: cfg, n: n, perSrc: perSrc,
+		gate:         newEPGate(dev.Network().Sim, fmt.Sprintf("srrc-recv@%d", dev.Node())),
+		creditIssued: make([]uint64, n),
+		lastWritten:  make([]uint64, n),
+		creditWin:    make([]remoteWin, n),
+	}
+	slots := n * perSrc
+	e.rcq = dev.CreateCQ(slots + 64)
+	// Credit-write completions can pile up behind bulk data in the NIC's
+	// transmit FIFO, so size this CQ to the worst case of one write per
+	// posted receive.
+	e.wcq = dev.CreateCQ(slots + 64)
+	e.bufMR = dev.RegisterMRNoCost(make([]byte, slots*cfg.BufSize))
+	e.stageMR = dev.RegisterMRNoCost(make([]byte, 8*n))
+	e.qps = make([]*verbs.QP, n)
+	for s := 0; s < n; s++ {
+		e.qps[s] = dev.CreateQP(verbs.QPConfig{
+			Type: fabric.RC, SendCQ: e.wcq, RecvCQ: e.rcq,
+			MaxSend: 4 * n, MaxRecv: perSrc + 4,
+		})
+	}
+	return e
+}
+
+// prime posts the initial receive windows and records the initial credit,
+// which the wiring communicates to senders out of band (part of connection
+// setup).
+func (e *srRCRecv) prime(p *sim.Proc) {
+	for src := 0; src < e.n; src++ {
+		for i := 0; i < e.perSrc; i++ {
+			slot := src*e.perSrc + i
+			err := e.qps[src].PostRecv(p, verbs.RecvWR{
+				ID: uint64(slot), MR: e.bufMR, Offset: e.slotOff(slot), Len: e.cfg.BufSize,
+			})
+			if err != nil {
+				panic(fmt.Sprintf("shuffle: prime recv failed: %v", err))
+			}
+		}
+		e.creditIssued[src] = uint64(e.perSrc)
+		e.lastWritten[src] = uint64(e.perSrc)
+	}
+}

@@ -1,0 +1,469 @@
+package shuffle
+
+import (
+	"fmt"
+
+	"rshuffle/internal/fabric"
+	"rshuffle/internal/sim"
+	"rshuffle/internal/verbs"
+)
+
+// srUDSend implements the SEND endpoint with RDMA Send/Receive over the
+// Unreliable Datagram service (§4.4.2, Fig. 6a). A single Queue Pair
+// reaches every peer; messages are capped at the MTU. The same stateless
+// credit protocol as RC is used, but credit arrives as small UD datagrams
+// on this endpoint's own QP (UD supports no RDMA Write). The sender counts
+// every data message per destination and transmits the totals at the end so
+// the receiver can detect missing or in-flight packets.
+type srUDSend struct {
+	dev *verbs.Device
+	cfg Config
+	n   int
+	mtu int
+
+	qp  *verbs.QP
+	scq *verbs.CQ // send completions (fire at wire time)
+	ccq *verbs.CQ // credit datagram arrivals
+
+	gate epGate
+
+	mr       *verbs.MR
+	poolBufs int
+	free     *sim.Queue[int]
+	pending  map[int]int
+
+	creditMR   *verbs.MR // receive slots for credit datagrams
+	creditSlot int       // slot size: GRH + HeaderSize
+
+	ahs    []verbs.AH // per destination: the paired receive endpoint's QP
+	sent   []uint64   // credit consumed per destination
+	credit []uint64   // absolute credit granted per destination
+	totals []uint64   // data messages sent per destination
+
+	// hwmc enables one-WQE broadcast through the multicast group mgid.
+	hwmc bool
+	mgid uint32
+}
+
+func (e *srUDSend) buf(off int) *Buf {
+	return &Buf{Data: e.mr.Buf[off+HeaderSize : off+e.mtu], off: off}
+}
+
+// drainCredit consumes pending credit datagrams; absolute credit makes the
+// update a simple max, so reordered or duplicated grants are harmless.
+func (e *srUDSend) drainCredit(p *sim.Proc) {
+	var es [16]verbs.CQE
+	for e.ccq.Len() > 0 {
+		n := e.gate.poll(p, e.ccq, es[:])
+		for _, c := range es[:n] {
+			slot := int(c.WRID)
+			off := slot * e.creditSlot
+			h := getHeader(e.creditMR.Buf[off+verbs.GRHSize:])
+			if h.flags&flagCredit != 0 {
+				if h.value > e.credit[h.src] {
+					e.credit[h.src] = h.value
+				}
+			}
+			e.postCreditRecv(p, slot)
+		}
+	}
+}
+
+func (e *srUDSend) postCreditRecv(p *sim.Proc, slot int) {
+	err := e.gate.postRecv(p, e.qp, verbs.RecvWR{
+		ID: uint64(slot), MR: e.creditMR, Offset: slot * e.creditSlot, Len: e.creditSlot,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("shuffle: UD credit repost failed: %v", err))
+	}
+}
+
+func (e *srUDSend) reap(es []verbs.CQE) {
+	for _, c := range es {
+		off := int(c.WRID)
+		e.pending[off]--
+		if e.pending[off] == 0 {
+			delete(e.pending, off)
+			e.free.Put(off)
+		}
+	}
+}
+
+// GetFree implements SendEndpoint.
+func (e *srUDSend) GetFree(p *sim.Proc) (*Buf, error) {
+	var waited sim.Duration
+	for {
+		if off, ok := e.free.TryGet(); ok {
+			return e.buf(off), nil
+		}
+		var es [16]verbs.CQE
+		if !e.scq.WaitNonEmpty(p, waitQuantum) {
+			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+				return nil, fmt.Errorf("%w: UD GetFree on node %d", ErrStalled, e.dev.Node())
+			}
+			continue
+		}
+		waited = 0
+		n := e.gate.poll(p, e.scq, es[:])
+		e.reap(es[:n])
+	}
+}
+
+func (e *srUDSend) waitCredit(p *sim.Proc, dest int) error {
+	var waited sim.Duration
+	for {
+		e.drainCredit(p)
+		if e.sent[dest] < e.credit[dest] {
+			e.sent[dest]++
+			return nil
+		}
+		if !e.ccq.WaitNonEmpty(p, waitQuantum) {
+			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+				return fmt.Errorf("%w: waiting for UD credit from node %d", ErrStalled, dest)
+			}
+			continue
+		}
+		waited = 0
+	}
+}
+
+func (e *srUDSend) post(p *sim.Proc, dest, off, length int) error {
+	for {
+		err := e.gate.post(p, e.qp, verbs.SendWR{
+			ID: uint64(off), Op: verbs.OpSend,
+			MR: e.mr, Offset: off, Len: length,
+			Dest: e.ahs[dest],
+		})
+		if err == nil {
+			return nil
+		}
+		if err != verbs.ErrSQFull {
+			return err
+		}
+		var es [16]verbs.CQE
+		e.scq.WaitNonEmpty(p, 0)
+		n := e.gate.poll(p, e.scq, es[:])
+		e.reap(es[:n])
+	}
+}
+
+func (e *srUDSend) send(p *sim.Proc, b *Buf, dest []int, flags uint16, value uint64) error {
+	putHeader(e.mr.Buf[b.off:], header{
+		payload: b.Len, flags: flags, src: uint16(e.dev.Node()), value: value,
+	})
+	if e.hwmc && flags == 0 && len(dest) == e.n {
+		// Native multicast broadcast: one credit unit per member, a single
+		// work request, a single uplink serialization.
+		for _, d := range dest {
+			if err := e.waitCredit(p, d); err != nil {
+				return err
+			}
+			e.totals[d]++
+		}
+		e.pending[b.off] = 1 // one WQE, one completion
+		for {
+			err := e.gate.post(p, e.qp, verbs.SendWR{
+				ID: uint64(b.off), Op: verbs.OpSend,
+				MR: e.mr, Offset: b.off, Len: HeaderSize + b.Len,
+				Dest: verbs.AH{Multicast: true, MGID: e.mgid},
+			})
+			if err == nil {
+				return nil
+			}
+			if err != verbs.ErrSQFull {
+				return err
+			}
+			var es [16]verbs.CQE
+			e.scq.WaitNonEmpty(p, 0)
+			n := e.gate.poll(p, e.scq, es[:])
+			e.reap(es[:n])
+		}
+	}
+	e.pending[b.off] = len(dest)
+	for _, d := range dest {
+		if err := e.waitCredit(p, d); err != nil {
+			return err
+		}
+		if err := e.post(p, d, b.off, HeaderSize+b.Len); err != nil {
+			return err
+		}
+		if flags&flagTotal == 0 {
+			e.totals[d]++
+		}
+	}
+	return nil
+}
+
+// Send implements SendEndpoint.
+func (e *srUDSend) Send(p *sim.Proc, b *Buf, dest []int) error {
+	return e.send(p, b, dest, 0, 0)
+}
+
+// Finish implements SendEndpoint: every peer receives a total-count
+// datagram carrying how many data messages were sent to it, so it can keep
+// waiting for reordered stragglers or declare loss (§4.4.2).
+func (e *srUDSend) Finish(p *sim.Proc) error {
+	for d := 0; d < e.n; d++ {
+		b, err := e.GetFree(p)
+		if err != nil {
+			return err
+		}
+		b.Len = 0
+		if err := e.send(p, b, []int{d}, flagTotal|flagDepleted, e.totals[d]); err != nil {
+			return err
+		}
+	}
+	var waited sim.Duration
+	for len(e.pending) > 0 {
+		var es [16]verbs.CQE
+		if !e.scq.WaitNonEmpty(p, waitQuantum) {
+			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+				return fmt.Errorf("%w: UD Finish flush", ErrStalled)
+			}
+			continue
+		}
+		waited = 0
+		n := e.gate.poll(p, e.scq, es[:])
+		e.reap(es[:n])
+	}
+	return nil
+}
+
+// srUDRecv implements the RECEIVE endpoint over UD Send/Receive (Fig. 6b).
+// One QP receives from every source; posted receive slots are shared.
+// Per-source counters implement the paper's out-of-order Depleted handling:
+// the state only transitions once received[src] matches the sender's total,
+// and a timeout after the totals are known is treated as packet loss.
+type srUDRecv struct {
+	dev *verbs.Device
+	cfg Config
+	n   int
+	mtu int
+
+	qp  *verbs.QP
+	rcq *verbs.CQ // data arrivals
+	scq *verbs.CQ // completions of outgoing credit datagrams
+
+	gate epGate
+
+	bufMR    *verbs.MR
+	slots    int
+	slotSize int
+	perSrc   int
+
+	stageMR *verbs.MR  // per source HeaderSize staging for credit datagrams
+	ahs     []verbs.AH // per source: the paired send endpoint's QP
+
+	creditIssued []uint64
+	lastWritten  []uint64
+	received     []uint64
+	expected     []uint64
+	totalKnown   []bool
+	knownCount   int
+
+	lossWait sim.Duration // accumulated wait after all totals are known
+}
+
+func (e *srUDRecv) allDone() bool {
+	if e.knownCount < e.n {
+		return false
+	}
+	for s := 0; s < e.n; s++ {
+		if e.received[s] != e.expected[s] {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *srUDRecv) repost(p *sim.Proc, slot, src int) {
+	err := e.gate.postRecv(p, e.qp, verbs.RecvWR{
+		ID: uint64(slot), MR: e.bufMR, Offset: slot * e.slotSize, Len: e.slotSize,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("shuffle: UD repost failed: %v", err))
+	}
+	e.creditIssued[src]++
+	if e.creditIssued[src]-e.lastWritten[src] >= uint64(e.cfg.CreditFrequency) {
+		e.sendCredit(p, src)
+	}
+	var es [8]verbs.CQE
+	for e.scq.Len() > 0 {
+		e.gate.poll(p, e.scq, es[:])
+	}
+}
+
+// sendCredit grants absolute credit to src with a small UD datagram.
+func (e *srUDRecv) sendCredit(p *sim.Proc, src int) {
+	e.lastWritten[src] = e.creditIssued[src]
+	off := src * HeaderSize
+	putHeader(e.stageMR.Buf[off:], header{
+		flags: flagCredit, src: uint16(e.dev.Node()), value: e.creditIssued[src],
+	})
+	err := e.gate.post(p, e.qp, verbs.SendWR{
+		Op: verbs.OpSend, MR: e.stageMR, Offset: off, Len: HeaderSize,
+		Dest: e.ahs[src], Inline: true,
+	})
+	if err == verbs.ErrSQFull {
+		var es [8]verbs.CQE
+		e.scq.WaitNonEmpty(p, 0)
+		e.gate.poll(p, e.scq, es[:])
+		e.sendCredit(p, src)
+		return
+	}
+	if err != nil {
+		panic(fmt.Sprintf("shuffle: UD credit send failed: %v", err))
+	}
+}
+
+// GetData implements RecvEndpoint.
+func (e *srUDRecv) GetData(p *sim.Proc) (*Data, error) {
+	var waited sim.Duration
+	for {
+		var es [1]verbs.CQE
+		if e.gate.poll(p, e.rcq, es[:]) == 1 {
+			waited = 0
+			slot := int(es[0].WRID)
+			off := slot*e.slotSize + verbs.GRHSize
+			h := getHeader(e.bufMR.Buf[off:])
+			src := int(h.src)
+			if h.flags&flagTotal != 0 {
+				if !e.totalKnown[src] {
+					e.totalKnown[src] = true
+					e.knownCount++
+				}
+				e.expected[src] = h.value
+				e.repost(p, slot, src)
+				if e.allDone() {
+					e.rcq.Kick()
+				}
+				continue
+			}
+			e.received[src]++
+			if e.allDone() {
+				e.rcq.Kick()
+			}
+			return &Data{
+				Src:     src,
+				Payload: e.bufMR.Buf[off+HeaderSize : off+HeaderSize+h.payload],
+				slot:    slot,
+			}, nil
+		}
+		if e.allDone() {
+			return nil, nil
+		}
+		if !e.rcq.WaitNonEmpty(p, waitQuantum) {
+			waited += waitQuantum
+			if e.knownCount == e.n {
+				// All totals known but counts short: either packets are
+				// still in flight (common, reordering) or lost (rare).
+				if e.lossWait += waitQuantum; e.lossWait > e.cfg.DepletedTimeout {
+					return nil, fmt.Errorf("%w on node %d: %s",
+						ErrDataLoss, e.dev.Node(), e.lossReport())
+				}
+			}
+			if waited > e.cfg.StallTimeout {
+				return nil, fmt.Errorf("%w: UD GetData on node %d (%d/%d totals)",
+					ErrStalled, e.dev.Node(), e.knownCount, e.n)
+			}
+		} else {
+			waited, e.lossWait = 0, 0
+		}
+	}
+}
+
+func (e *srUDRecv) lossReport() string {
+	missing := 0
+	for s := 0; s < e.n; s++ {
+		missing += int(e.expected[s] - e.received[s])
+	}
+	return fmt.Sprintf("%d message(s) missing", missing)
+}
+
+// Release implements RecvEndpoint.
+func (e *srUDRecv) Release(p *sim.Proc, d *Data) {
+	e.repost(p, d.slot, d.Src)
+}
+
+func newSRUDSend(dev *verbs.Device, cfg Config, n, tpe int) *srUDSend {
+	mtu := dev.Network().Prof.MTU
+	pool := tpe * n * cfg.BuffersPerPeer
+	e := &srUDSend{
+		dev: dev, cfg: cfg, n: n, mtu: mtu,
+		gate:       newEPGate(dev.Network().Sim, fmt.Sprintf("srud-send@%d", dev.Node())),
+		poolBufs:   pool,
+		free:       sim.NewQueue[int](dev.Network().Sim, fmt.Sprintf("srud-free@%d", dev.Node())),
+		pending:    make(map[int]int),
+		creditSlot: verbs.GRHSize + HeaderSize,
+		sent:       make([]uint64, n),
+		credit:     make([]uint64, n),
+		totals:     make([]uint64, n),
+		ahs:        make([]verbs.AH, n),
+	}
+	// Broadcast posts one send per group member per buffer, and completions
+	// sit in the CQ until the application polls; size for the worst case.
+	e.scq = dev.CreateCQ(pool*n + 64)
+	creditSlots := 4 * n
+	e.ccq = dev.CreateCQ(creditSlots + 16)
+	e.mr = dev.RegisterMRNoCost(make([]byte, pool*mtu))
+	e.creditMR = dev.RegisterMRNoCost(make([]byte, creditSlots*e.creditSlot))
+	for i := 0; i < pool; i++ {
+		e.free.Put(i * mtu)
+	}
+	e.qp = dev.CreateQP(verbs.QPConfig{
+		Type: fabric.UD, SendCQ: e.scq, RecvCQ: e.ccq,
+		MaxSend: pool*n + 16, MaxRecv: creditSlots + 4,
+	})
+	return e
+}
+
+// primeSend posts the credit-datagram receive windows.
+func (e *srUDSend) primeSend(p *sim.Proc) {
+	for slot := 0; slot < 4*e.n; slot++ {
+		e.postCreditRecv(p, slot)
+	}
+}
+
+func newSRUDRecv(dev *verbs.Device, cfg Config, n, tpe int) *srUDRecv {
+	mtu := dev.Network().Prof.MTU
+	perSrc := tpe * cfg.RecvBuffersPerPeer
+	slots := n * perSrc
+	e := &srUDRecv{
+		dev: dev, cfg: cfg, n: n, mtu: mtu,
+		gate:  newEPGate(dev.Network().Sim, fmt.Sprintf("srud-recv@%d", dev.Node())),
+		slots: slots, slotSize: verbs.GRHSize + mtu, perSrc: perSrc,
+		ahs:          make([]verbs.AH, n),
+		creditIssued: make([]uint64, n),
+		lastWritten:  make([]uint64, n),
+		received:     make([]uint64, n),
+		expected:     make([]uint64, n),
+		totalKnown:   make([]bool, n),
+	}
+	e.rcq = dev.CreateCQ(slots + 64)
+	// Credit-datagram completions queue behind bulk data on the wire.
+	e.scq = dev.CreateCQ(slots + 64)
+	e.bufMR = dev.RegisterMRNoCost(make([]byte, slots*e.slotSize))
+	e.stageMR = dev.RegisterMRNoCost(make([]byte, n*HeaderSize))
+	e.qp = dev.CreateQP(verbs.QPConfig{
+		Type: fabric.UD, SendCQ: e.scq, RecvCQ: e.rcq,
+		MaxSend: 4 * n, MaxRecv: slots + 4,
+	})
+	return e
+}
+
+// prime posts every data receive slot and records the initial per-source
+// credit grant, which wiring communicates to senders out of band.
+func (e *srUDRecv) prime(p *sim.Proc) {
+	for slot := 0; slot < e.slots; slot++ {
+		err := e.qp.PostRecv(p, verbs.RecvWR{
+			ID: uint64(slot), MR: e.bufMR, Offset: slot * e.slotSize, Len: e.slotSize,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("shuffle: UD prime failed: %v", err))
+		}
+	}
+	for src := 0; src < e.n; src++ {
+		e.creditIssued[src] = uint64(e.perSrc)
+		e.lastWritten[src] = uint64(e.perSrc)
+	}
+}

@@ -1,0 +1,377 @@
+package shuffle
+
+import (
+	"fmt"
+
+	"rshuffle/internal/fabric"
+	"rshuffle/internal/sim"
+	"rshuffle/internal/verbs"
+)
+
+// The WR/RC endpoint implements the paper's first future-work item: a
+// shuffling endpoint based on the one-sided RDMA Write primitive. It is the
+// push-side mirror of the RDMA Read design (§4.4.3):
+//
+//   - the RECEIVE endpoint owns the data buffers; it grants empty slot
+//     addresses to each sender through the sender's SlotArr circular queue
+//     (the dual of FreeArr);
+//   - SEND writes the full transmission buffer directly into a granted
+//     remote slot with RDMA Write, then announces it through the receiver's
+//     ValidArr; both writes ride the same QP, so the Reliable Connection
+//     ordering guarantees the data has landed before the announcement;
+//   - RELEASE re-grants the slot to its sender.
+//
+// Compared with RDMA Read, buffer reuse needs no remote notification: the
+// sender's buffer is free as soon as its Write completions arrive, which is
+// why the design behaves better under broadcast.
+
+// wrRCSend implements the SEND endpoint over one-sided RDMA Write.
+type wrRCSend struct {
+	dev *verbs.Device
+	cfg Config
+	n   int
+
+	qps []*verbs.QP
+	wcq *verbs.CQ // data + announcement write completions
+
+	gate epGate
+
+	mr       *verbs.MR // local transmission buffers
+	poolBufs int
+	queueCap int
+	free     *sim.Queue[int]
+	pending  map[int]int // buffer offset -> outstanding data writes
+
+	// slotArrMR holds n circular queues of remote-slot grants, written by
+	// receivers; slotWin[d] is the receiver's data-slot region.
+	slotArrMR *verbs.MR
+	cons      []int
+	slotWin   []remoteWin // receiver's slot MR (data destination)
+
+	// validWin[d] is the receiver's ValidArr queue for this sender.
+	validWin []remoteWin
+	prod     []int
+	stageMR  *verbs.MR
+}
+
+func (e *wrRCSend) buf(off int) *Buf {
+	return &Buf{Data: e.mr.Buf[off+HeaderSize : off+e.cfg.BufSize], off: off}
+}
+
+// popSlot takes one granted remote slot for dest, blocking until the
+// receiver grants one.
+func (e *wrRCSend) popSlot(p *sim.Proc, dest int) (int, error) {
+	var waited sim.Duration
+	for {
+		idx := dest*e.queueCap + e.cons[dest]%e.queueCap
+		v := verbs.ReadUint64(e.slotArrMR.Buf[8*idx:])
+		if v&slotValid != 0 {
+			verbs.PutUint64(e.slotArrMR.Buf[8*idx:], 0)
+			e.cons[dest]++
+			off, _, _ := unpackSlot(v)
+			return off, nil
+		}
+		e.reapWrites(p)
+		if !e.dev.WaitMemChange(p, waitQuantum) {
+			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+				return 0, fmt.Errorf("%w: WR waiting for slot grant from node %d", ErrStalled, dest)
+			}
+			continue
+		}
+		waited = 0
+	}
+}
+
+func (e *wrRCSend) reapWrites(p *sim.Proc) {
+	var es [16]verbs.CQE
+	for e.wcq.Len() > 0 {
+		n := e.gate.poll(p, e.wcq, es[:])
+		for _, c := range es[:n] {
+			if c.WRID == 0 {
+				continue // announcement write
+			}
+			off := int(c.WRID - 1)
+			e.pending[off]--
+			if e.pending[off] == 0 {
+				delete(e.pending, off)
+				e.free.Put(off)
+			}
+		}
+	}
+}
+
+// GetFree implements SendEndpoint: a buffer is reusable once its data
+// writes complete locally — no remote notification needed.
+func (e *wrRCSend) GetFree(p *sim.Proc) (*Buf, error) {
+	var waited sim.Duration
+	for {
+		if off, ok := e.free.TryGet(); ok {
+			return e.buf(off), nil
+		}
+		e.reapWrites(p)
+		if off, ok := e.free.TryGet(); ok {
+			return e.buf(off), nil
+		}
+		if !e.wcq.WaitNonEmpty(p, waitQuantum) {
+			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+				return nil, fmt.Errorf("%w: WR GetFree on node %d", ErrStalled, e.dev.Node())
+			}
+			continue
+		}
+		waited = 0
+	}
+}
+
+func (e *wrRCSend) postWrite(p *sim.Proc, dest int, wr verbs.SendWR) error {
+	for {
+		err := e.gate.post(p, e.qps[dest], wr)
+		if err == nil {
+			return nil
+		}
+		if err != verbs.ErrSQFull {
+			return err
+		}
+		e.wcq.WaitNonEmpty(p, 0)
+		e.reapWrites(p)
+	}
+}
+
+func (e *wrRCSend) send(p *sim.Proc, b *Buf, dest []int, depleted bool) error {
+	putHeader(e.mr.Buf[b.off:], header{payload: b.Len, src: uint16(e.dev.Node())})
+	e.pending[b.off] = len(dest)
+	length := HeaderSize + b.Len
+	for _, d := range dest {
+		slot, err := e.popSlot(p, d)
+		if err != nil {
+			return err
+		}
+		// Data write into the granted remote slot.
+		if err := e.postWrite(p, d, verbs.SendWR{
+			ID: uint64(b.off) + 1, Op: verbs.OpWrite,
+			MR: e.mr, Offset: b.off, Len: length,
+			RemoteKey: e.slotWin[d].rkey, RemoteOffset: e.slotWin[d].base + slot,
+		}); err != nil {
+			return err
+		}
+		// Announcement write, ordered behind the data on the same QP.
+		idx := e.prod[d]
+		e.prod[d]++
+		stage := 8 * (d*e.queueCap + idx%e.queueCap)
+		verbs.PutUint64(e.stageMR.Buf[stage:], packSlot(slot, length, depleted))
+		if err := e.postWrite(p, d, verbs.SendWR{
+			ID: 0, Op: verbs.OpWrite,
+			MR: e.stageMR, Offset: stage, Len: 8, Inline: true,
+			RemoteKey:    e.validWin[d].rkey,
+			RemoteOffset: e.validWin[d].base + 8*(idx%e.queueCap),
+		}); err != nil {
+			return err
+		}
+	}
+	e.reapWrites(p)
+	return nil
+}
+
+// Send implements SendEndpoint.
+func (e *wrRCSend) Send(p *sim.Proc, b *Buf, dest []int) error {
+	return e.send(p, b, dest, false)
+}
+
+// Finish implements SendEndpoint.
+func (e *wrRCSend) Finish(p *sim.Proc) error {
+	b, err := e.GetFree(p)
+	if err != nil {
+		return err
+	}
+	all := make([]int, e.n)
+	for i := range all {
+		all[i] = i
+	}
+	b.Len = 0
+	if err := e.send(p, b, all, true); err != nil {
+		return err
+	}
+	var waited sim.Duration
+	for len(e.pending) > 0 {
+		e.reapWrites(p)
+		if len(e.pending) == 0 {
+			break
+		}
+		if !e.wcq.WaitNonEmpty(p, waitQuantum) {
+			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+				return fmt.Errorf("%w: WR Finish flush (%d outstanding)", ErrStalled, len(e.pending))
+			}
+			continue
+		}
+		waited = 0
+	}
+	return nil
+}
+
+// wrRCRecv implements the RECEIVE endpoint over one-sided RDMA Write: it
+// owns the data slots, polls its ValidArr queues for announcements, and
+// re-grants consumed slots.
+type wrRCRecv struct {
+	dev *verbs.Device
+	cfg Config
+	n   int
+
+	qps []*verbs.QP
+	gcq *verbs.CQ // grant-write completions
+
+	gate epGate
+
+	slotMR *verbs.MR // data slots, perSrc per source
+	perSrc int
+
+	validArrMR *verbs.MR
+	queueCap   int
+	cons       []int
+
+	grantWin []remoteWin // each sender's SlotArr region for me
+	prod     []int
+	stageMR  *verbs.MR
+
+	depleted int
+}
+
+// grant hands slot (an offset within slotMR) to sender src.
+func (e *wrRCRecv) grant(p *sim.Proc, src, slot int) error {
+	idx := e.prod[src]
+	e.prod[src]++
+	stage := 8 * (src*e.queueCap + idx%e.queueCap)
+	verbs.PutUint64(e.stageMR.Buf[stage:], packSlot(slot, 0, false))
+	for {
+		err := e.gate.post(p, e.qps[src], verbs.SendWR{
+			Op: verbs.OpWrite, MR: e.stageMR, Offset: stage, Len: 8, Inline: true,
+			RemoteKey:    e.grantWin[src].rkey,
+			RemoteOffset: e.grantWin[src].base + 8*(idx%e.queueCap),
+		})
+		if err == nil {
+			break
+		}
+		if err != verbs.ErrSQFull {
+			return err
+		}
+		var es [16]verbs.CQE
+		e.gcq.WaitNonEmpty(p, 0)
+		e.gate.poll(p, e.gcq, es[:])
+	}
+	var es [8]verbs.CQE
+	for e.gcq.Len() > 0 {
+		e.gate.poll(p, e.gcq, es[:])
+	}
+	return nil
+}
+
+// GetData implements RecvEndpoint: announcements arrive purely through
+// memory, so the wait path watches for remote writes.
+func (e *wrRCRecv) GetData(p *sim.Proc) (*Data, error) {
+	var waited sim.Duration
+	for {
+		for src := 0; src < e.n; src++ {
+			idx := src*e.queueCap + e.cons[src]%e.queueCap
+			v := verbs.ReadUint64(e.validArrMR.Buf[8*idx:])
+			if v&slotValid == 0 {
+				continue
+			}
+			verbs.PutUint64(e.validArrMR.Buf[8*idx:], 0)
+			e.cons[src]++
+			slot, _, dep := unpackSlot(v)
+			h := getHeader(e.slotMR.Buf[slot:])
+			if dep {
+				e.depleted++
+				if e.depleted >= e.n {
+					e.dev.KickMemWaiters()
+				}
+			}
+			if h.payload == 0 {
+				// Marker: re-grant immediately.
+				if err := e.grant(p, src, slot); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return &Data{
+				Src:     int(h.src),
+				Payload: e.slotMR.Buf[slot+HeaderSize : slot+HeaderSize+h.payload],
+				slot:    slot,
+			}, nil
+		}
+		if e.depleted >= e.n {
+			return nil, nil
+		}
+		if !e.dev.WaitMemChange(p, waitQuantum) {
+			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+				return nil, fmt.Errorf("%w: WR GetData on node %d (%d/%d depleted)",
+					ErrStalled, e.dev.Node(), e.depleted, e.n)
+			}
+		} else {
+			waited = 0
+		}
+	}
+}
+
+// Release implements RecvEndpoint.
+func (e *wrRCRecv) Release(p *sim.Proc, d *Data) {
+	// The slot belongs to the source that filled it; slots are partitioned
+	// per source, so recover the source from the slot index.
+	src := d.slot / (e.perSrc * e.cfg.BufSize)
+	if err := e.grant(p, src, d.slot); err != nil {
+		panic(fmt.Sprintf("shuffle: WR re-grant failed: %v", err))
+	}
+}
+
+func newWRRCSend(dev *verbs.Device, cfg Config, n, tpe, grantCap int) *wrRCSend {
+	pool := tpe * n * cfg.BuffersPerPeer
+	e := &wrRCSend{
+		dev: dev, cfg: cfg, n: n,
+		gate:     newEPGate(dev.Network().Sim, fmt.Sprintf("wr-send@%d", dev.Node())),
+		poolBufs: pool,
+		queueCap: grantCap,
+		free:     sim.NewQueue[int](dev.Network().Sim, fmt.Sprintf("wr-free@%d", dev.Node())),
+		pending:  make(map[int]int),
+		cons:     make([]int, n),
+		prod:     make([]int, n),
+		slotWin:  make([]remoteWin, n),
+		validWin: make([]remoteWin, n),
+	}
+	e.wcq = dev.CreateCQ(4*pool*n + 64)
+	e.mr = dev.RegisterMRNoCost(make([]byte, pool*cfg.BufSize))
+	e.slotArrMR = dev.RegisterMRNoCost(make([]byte, 8*n*grantCap))
+	e.stageMR = dev.RegisterMRNoCost(make([]byte, 8*n*grantCap))
+	for i := 0; i < pool; i++ {
+		e.free.Put(i * cfg.BufSize)
+	}
+	e.qps = make([]*verbs.QP, n)
+	for d := 0; d < n; d++ {
+		e.qps[d] = dev.CreateQP(verbs.QPConfig{
+			Type: fabric.RC, SendCQ: e.wcq, RecvCQ: e.wcq,
+			MaxSend: 4*pool + 16, MaxRecv: 4,
+		})
+	}
+	return e
+}
+
+func newWRRCRecv(dev *verbs.Device, cfg Config, n, tpe int) *wrRCRecv {
+	perSrc := tpe * cfg.RecvBuffersPerPeer
+	e := &wrRCRecv{
+		dev: dev, cfg: cfg, n: n, perSrc: perSrc,
+		gate:     newEPGate(dev.Network().Sim, fmt.Sprintf("wr-recv@%d", dev.Node())),
+		queueCap: perSrc + 1,
+		cons:     make([]int, n),
+		prod:     make([]int, n),
+		grantWin: make([]remoteWin, n),
+	}
+	e.gcq = dev.CreateCQ(4*n*perSrc + 64)
+	e.slotMR = dev.RegisterMRNoCost(make([]byte, n*perSrc*cfg.BufSize))
+	e.validArrMR = dev.RegisterMRNoCost(make([]byte, 8*n*e.queueCap))
+	e.stageMR = dev.RegisterMRNoCost(make([]byte, 8*n*e.queueCap))
+	e.qps = make([]*verbs.QP, n)
+	for s := 0; s < n; s++ {
+		e.qps[s] = dev.CreateQP(verbs.QPConfig{
+			Type: fabric.RC, SendCQ: e.gcq, RecvCQ: e.gcq,
+			MaxSend: 2*perSrc + 16, MaxRecv: 4,
+		})
+	}
+	return e
+}

@@ -1,0 +1,257 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation kernel in virtual time.
+//
+// A Simulation owns a virtual clock and an event queue. Simulated threads of
+// execution are Procs: ordinary goroutines that are scheduled cooperatively,
+// exactly one at a time. A Proc runs until it blocks on a simulation
+// primitive (Sleep, Cond.Wait, Mutex.Lock, ...), at which point control
+// returns to the scheduler, which advances the clock to the next event.
+// Because at most one Proc executes at any instant, simulation state needs no
+// locking and every run is deterministic: events scheduled for the same
+// virtual instant fire in the order they were scheduled.
+//
+// The kernel detects deadlock: if live Procs remain but no event can wake
+// any of them, Run returns a DeadlockError naming each blocked Proc and the
+// primitive it is blocked on.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is an instant in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Duration is a span of virtual time. It aliases time.Duration so the usual
+// constants (time.Microsecond, ...) can be used when building cost models.
+type Duration = time.Duration
+
+// Add returns the instant d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+func (t Time) String() string { return Duration(t).String() }
+
+type event struct {
+	at   Time
+	seq  uint64
+	fire func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+func (h eventHeap) peek() *event { return h[0] }
+
+// Simulation is a discrete-event simulator. The zero value is not usable;
+// create one with New.
+type Simulation struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	yield  chan struct{}
+	live   int
+	procs  map[*Proc]struct{}
+	rng    *rand.Rand
+	maxT   Time // horizon; 0 means none
+}
+
+// New returns an empty simulation whose random source is seeded with seed.
+// The same seed always yields the same execution.
+func New(seed int64) *Simulation {
+	return &Simulation{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source. It must only be
+// used from Procs or event callbacks (never concurrently with Run from
+// outside).
+func (s *Simulation) Rand() *rand.Rand { return s.rng }
+
+// SetHorizon stops Run once virtual time would exceed t. Events past the
+// horizon are left unfired. A zero horizon (the default) means no limit.
+func (s *Simulation) SetHorizon(t Time) { s.maxT = t }
+
+// At schedules fn to run at instant t (not before now). fn runs in scheduler
+// context: it may schedule events, wake Procs, and mutate simulation state,
+// but must not block.
+func (s *Simulation) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: t, seq: s.seq, fire: fn})
+}
+
+// After schedules fn to run d after the current instant.
+func (s *Simulation) After(d Duration, fn func()) { s.At(s.now.Add(d), fn) }
+
+// Proc is a simulated thread of execution. Procs are created with Spawn and
+// run as goroutines scheduled cooperatively by the Simulation. All methods
+// that block (Sleep, and the Wait/Lock methods on Cond/Mutex that take the
+// Proc) must be called only from within the Proc's own function.
+type Proc struct {
+	sim    *Simulation
+	name   string
+	resume chan struct{}
+	done   bool
+	// blockedOn describes what the Proc is waiting for, for deadlock reports.
+	blockedOn string
+	// timedOut reports whether the last WaitTimeout expired.
+	timedOut bool
+	// busy accumulates virtual CPU time consumed via Sleep; blocked
+	// accumulates time spent waiting on synchronization primitives. The
+	// split drives utilization profiling (the paper's §5.1.3 analysis).
+	busy    Duration
+	blocked Duration
+}
+
+// BusyTime returns the virtual CPU time this Proc has consumed.
+func (p *Proc) BusyTime() Duration { return p.busy }
+
+// BlockedTime returns the virtual time this Proc spent blocked on
+// synchronization (waiting for completions, credit, buffers, ...).
+func (p *Proc) BlockedTime() Duration { return p.blocked }
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulation that owns this Proc.
+func (p *Proc) Sim() *Simulation { return p.sim }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// Spawn creates a Proc named name that will begin executing fn at the
+// current virtual instant. It may be called before Run or from inside a
+// running Proc or event callback.
+func (s *Simulation) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	s.live++
+	s.procs[p] = struct{}{}
+	go func() {
+		<-p.resume // wait for first dispatch
+		fn(p)
+		p.done = true
+		delete(s.procs, p)
+		s.live--
+		s.yield <- struct{}{}
+	}()
+	s.At(s.now, func() { s.dispatch(p) })
+	return p
+}
+
+// dispatch hands control to p and waits for it to block or finish.
+// It must run in scheduler context.
+func (s *Simulation) dispatch(p *Proc) {
+	if p.done {
+		return
+	}
+	p.blockedOn = ""
+	p.resume <- struct{}{}
+	<-s.yield
+}
+
+// block suspends the calling Proc until something calls s.ready(p),
+// accounting the wait as blocked time.
+func (p *Proc) block(reason string) {
+	p.blockedOn = reason
+	t0 := p.sim.now
+	p.sim.yield <- struct{}{}
+	<-p.resume
+	p.blocked += Duration(p.sim.now - t0)
+}
+
+// ready schedules p to resume at the current instant.
+func (s *Simulation) ready(p *Proc) { s.At(s.now, func() { s.dispatch(p) }) }
+
+// Sleep suspends the Proc for d of virtual time. Negative and zero durations
+// yield to other same-instant events and return.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.busy += d
+	p.sim.At(p.sim.now.Add(d), func() { p.sim.dispatch(p) })
+	p.blockedOn = "sleep"
+	p.sim.yield <- struct{}{}
+	<-p.resume
+}
+
+// Yield lets all other events scheduled for the current instant run before
+// the Proc continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// DeadlockError is returned by Run when live Procs remain but the event
+// queue is empty, so no Proc can ever be woken again.
+type DeadlockError struct {
+	Time    Time
+	Blocked []string // "name: reason" for each blocked Proc, sorted
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%v; %d proc(s) blocked: %v",
+		e.Time, len(e.Blocked), e.Blocked)
+}
+
+// Run executes events until the queue drains, all Procs have finished, or
+// the horizon is reached. It returns a *DeadlockError if Procs remain
+// blocked with no pending events, and nil otherwise. Run must be called from
+// the goroutine that owns the Simulation, and only once at a time.
+func (s *Simulation) Run() error {
+	for len(s.events) > 0 {
+		e := s.events.peek()
+		if s.maxT != 0 && e.at > s.maxT {
+			s.now = s.maxT
+			return nil
+		}
+		heap.Pop(&s.events)
+		s.now = e.at
+		e.fire()
+	}
+	if s.live > 0 {
+		de := &DeadlockError{Time: s.now}
+		for p := range s.procs {
+			de.Blocked = append(de.Blocked, p.name+": "+p.blockedOn)
+		}
+		sort.Strings(de.Blocked)
+		return de
+	}
+	return nil
+}
+
+// RunFor runs until the event queue drains or until d of virtual time has
+// elapsed from the current instant, whichever comes first.
+func (s *Simulation) RunFor(d Duration) error {
+	s.SetHorizon(s.now.Add(d))
+	defer s.SetHorizon(0)
+	return s.Run()
+}

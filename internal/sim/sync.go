@@ -1,0 +1,199 @@
+package sim
+
+// Cond is a condition variable in virtual time. Unlike sync.Cond it needs no
+// external mutex: simulation state is never accessed concurrently, so the
+// usual lost-wakeup race cannot occur as long as callers re-check their
+// predicate in a loop around Wait.
+type Cond struct {
+	sim     *Simulation
+	name    string
+	waiters []*condWaiter
+}
+
+type condWaiter struct {
+	p     *Proc
+	woken bool // set when a Signal/Broadcast or timeout has claimed this waiter
+}
+
+// NewCond returns a condition variable with a diagnostic name used in
+// deadlock reports.
+func (s *Simulation) NewCond(name string) *Cond {
+	return &Cond{sim: s, name: name}
+}
+
+// Wait suspends p until Signal or Broadcast wakes it. Callers must re-check
+// their predicate after Wait returns.
+func (c *Cond) Wait(p *Proc) {
+	w := &condWaiter{p: p}
+	c.waiters = append(c.waiters, w)
+	p.timedOut = false
+	p.block("cond " + c.name)
+}
+
+// WaitTimeout is Wait with a virtual-time timeout. It returns false if the
+// wait timed out before a Signal/Broadcast reached this waiter.
+func (c *Cond) WaitTimeout(p *Proc, d Duration) bool {
+	w := &condWaiter{p: p}
+	c.waiters = append(c.waiters, w)
+	p.timedOut = false
+	c.sim.After(d, func() {
+		if w.woken {
+			return
+		}
+		w.woken = true
+		c.remove(w)
+		p.timedOut = true
+		c.sim.ready(p)
+	})
+	p.block("cond(timeout) " + c.name)
+	return !p.timedOut
+}
+
+func (c *Cond) remove(w *condWaiter) {
+	for i, x := range c.waiters {
+		if x == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Signal wakes the longest-waiting waiter, if any.
+func (c *Cond) Signal() {
+	for len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		if w.woken {
+			continue
+		}
+		w.woken = true
+		c.sim.ready(w.p)
+		return
+	}
+}
+
+// Broadcast wakes every current waiter in FIFO order.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		if w.woken {
+			continue
+		}
+		w.woken = true
+		c.sim.ready(w.p)
+	}
+}
+
+// Mutex is a FIFO-fair mutual-exclusion lock in virtual time. Acquiring an
+// uncontended Mutex costs no virtual time; contended acquisitions queue in
+// arrival order, which models a ticket lock guarding a shared resource such
+// as a Queue Pair's doorbell.
+type Mutex struct {
+	sim   *Simulation
+	name  string
+	owner *Proc
+	queue []*Proc
+}
+
+// NewMutex returns a FIFO mutex with a diagnostic name.
+func (s *Simulation) NewMutex(name string) *Mutex {
+	return &Mutex{sim: s, name: name}
+}
+
+// Lock acquires the mutex, blocking p in FIFO order if it is held.
+func (m *Mutex) Lock(p *Proc) {
+	if m.owner == nil {
+		m.owner = p
+		return
+	}
+	if m.owner == p {
+		panic("sim: recursive Mutex.Lock by " + p.name)
+	}
+	m.queue = append(m.queue, p)
+	p.block("mutex " + m.name)
+}
+
+// Unlock releases the mutex and hands it to the next queued Proc, if any.
+func (m *Mutex) Unlock(p *Proc) {
+	if m.owner != p {
+		panic("sim: Mutex.Unlock by non-owner " + p.name)
+	}
+	if len(m.queue) == 0 {
+		m.owner = nil
+		return
+	}
+	next := m.queue[0]
+	m.queue = m.queue[1:]
+	m.owner = next
+	m.sim.ready(next)
+}
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.owner != nil }
+
+// Waiters returns the number of Procs queued behind the current owner.
+func (m *Mutex) Waiters() int { return len(m.queue) }
+
+// Queue is an unbounded FIFO of items with blocking Get, usable as a simple
+// mailbox between Procs.
+type Queue[T any] struct {
+	sim   *Simulation
+	name  string
+	items []T
+	cond  *Cond
+	// closed marks end-of-stream: Get returns the zero value and false once
+	// drained.
+	closed bool
+}
+
+// NewQueue returns an empty queue with a diagnostic name.
+func NewQueue[T any](s *Simulation, name string) *Queue[T] {
+	return &Queue[T]{sim: s, name: name, cond: s.NewCond("queue " + name)}
+}
+
+// Put appends v. It never blocks and may be called from event callbacks.
+func (q *Queue[T]) Put(v T) {
+	if q.closed {
+		panic("sim: Put on closed Queue " + q.name)
+	}
+	q.items = append(q.items, v)
+	q.cond.Signal()
+}
+
+// Close marks end-of-stream and wakes all blocked getters.
+func (q *Queue[T]) Close() {
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// Get removes and returns the head item, blocking p while the queue is
+// empty. It returns ok=false when the queue is closed and drained.
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return v, false
+		}
+		q.cond.Wait(p)
+	}
+	v = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// TryGet removes and returns the head item without blocking.
+func (q *Queue[T]) TryGet() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }

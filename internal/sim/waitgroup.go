@@ -1,0 +1,44 @@
+package sim
+
+// WaitGroup waits for a collection of simulated activities to finish, in the
+// manner of sync.WaitGroup but in virtual time.
+type WaitGroup struct {
+	sim   *Simulation
+	count int
+	cond  *Cond
+}
+
+// NewWaitGroup returns a WaitGroup with a diagnostic name.
+func (s *Simulation) NewWaitGroup(name string) *WaitGroup {
+	return &WaitGroup{sim: s, cond: s.NewCond("waitgroup " + name)}
+}
+
+// Add adds delta to the counter. It panics if the counter goes negative.
+func (w *WaitGroup) Add(delta int) {
+	w.count += delta
+	if w.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.count == 0 {
+		w.cond.Broadcast()
+	}
+}
+
+// Done decrements the counter by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Wait blocks p until the counter reaches zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	for w.count > 0 {
+		w.cond.Wait(p)
+	}
+}
+
+// Go spawns fn as a Proc tracked by the WaitGroup.
+func (w *WaitGroup) Go(name string, fn func(p *Proc)) {
+	w.Add(1)
+	w.sim.Spawn(name, func(p *Proc) {
+		defer w.Done()
+		fn(p)
+	})
+}

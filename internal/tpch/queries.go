@@ -1,0 +1,407 @@
+package tpch
+
+import (
+	"fmt"
+	"math"
+
+	"rshuffle/internal/cluster"
+	"rshuffle/internal/engine"
+	"rshuffle/internal/shuffle"
+	"rshuffle/internal/sim"
+)
+
+// QueryResult reports one distributed query execution.
+type QueryResult struct {
+	// Elapsed is the query response time, measured after all transports are
+	// connected (the paper reports Fig. 12 setup costs separately).
+	Elapsed sim.Duration
+	// Result holds the final rows, gathered on node 0.
+	Result *engine.Table
+	// Rows is the result cardinality.
+	Rows int64
+	// Err is the first transport error observed.
+	Err error
+}
+
+// plan accumulates the fragments and exchanges of one distributed query.
+type plan struct {
+	c       *cluster.Cluster
+	factory cluster.ProviderFactory
+	done    *sim.WaitGroup
+	sends   []*shuffle.Shuffle
+	recvs   []*shuffle.Receive
+	pending []func()
+	frag    int
+}
+
+func newPlan(c *cluster.Cluster, f cluster.ProviderFactory) *plan {
+	return &plan{c: c, factory: f, done: c.Sim.NewWaitGroup("query")}
+}
+
+// fragment drains root with one Sink per node using the standard worker
+// thread count; keep retains rows (used for the final fragment on node 0).
+func (pl *plan) fragment(node int, root engine.Operator, keep bool) *engine.Sink {
+	pl.frag++
+	name := fmt.Sprintf("f%d@%d", pl.frag, node)
+	s := &engine.Sink{In: root, Keep: keep}
+	pl.done.Add(1)
+	// Starting is deferred until finish so that the response-time clock
+	// begins only after every exchange's transport is connected.
+	pl.pending = append(pl.pending, func() {
+		s.Run(pl.c.Ctx(node), name, func(p *sim.Proc) { pl.done.Done() })
+	})
+	return s
+}
+
+// exchange wires one shuffle stage: node i's sending fragment drains
+// mkIn(i) and transmits on groups keyed by column key; the returned Receive
+// operators are the receiving fragments' leaves.
+func (pl *plan) exchange(p *sim.Proc, g shuffle.Groups, key int, mkIn func(node int) engine.Operator) []*shuffle.Receive {
+	prov := pl.factory(p, pl.c)
+	recvs := make([]*shuffle.Receive, pl.c.N)
+	var sch *engine.Schema
+	for node := 0; node < pl.c.N; node++ {
+		in := mkIn(node)
+		if sch == nil {
+			sch = in.Schema()
+		}
+		sh := &shuffle.Shuffle{
+			In: in, Comm: prov, Node: node, G: g, Key: shuffle.KeyInt64Col(key),
+		}
+		pl.sends = append(pl.sends, sh)
+		pl.fragment(node, sh, false)
+		recvs[node] = &shuffle.Receive{Comm: prov, Node: node, Sch: sch}
+		pl.recvs = append(pl.recvs, recvs[node])
+	}
+	return recvs
+}
+
+// gather returns groups that funnel everything to node 0.
+func gather() shuffle.Groups { return shuffle.Groups{{0}} }
+
+// finish launches every fragment, then waits for the query to drain and
+// collects errors. The response-time clock starts here.
+func (pl *plan) finish(start sim.Time, res *QueryResult, final *engine.Sink) {
+	for _, launch := range pl.pending {
+		launch()
+	}
+	pl.pending = nil
+	pl.c.Sim.Spawn("query-join", func(p *sim.Proc) {
+		pl.done.Wait(p)
+		res.Elapsed = p.Now().Sub(start)
+		res.Result = final.Result
+		res.Rows = final.Rows
+		for _, s := range pl.sends {
+			if s.Err != nil && res.Err == nil {
+				res.Err = s.Err
+			}
+		}
+		for _, r := range pl.recvs {
+			if r.Err != nil && res.Err == nil {
+				res.Err = r.Err
+			}
+		}
+	})
+}
+
+// revenue is the TPC-H revenue expression sum(l_extendedprice*(1-l_discount))
+// over the given price and discount columns.
+func revenue(priceCol, discCol int) engine.AggSpec {
+	return engine.AggSpec{Kind: engine.AggSum, Eval: func(b *engine.Batch, i int) float64 {
+		return b.Float64(i, priceCol) * (1 - b.Float64(i, discCol))
+	}}
+}
+
+func sumCol(col int) engine.AggSpec {
+	return engine.AggSpec{Kind: engine.AggSum, Eval: func(b *engine.Batch, i int) float64 {
+		return b.Float64(i, col)
+	}}
+}
+
+// RunQ4 executes TPC-H Q4: order counts per priority for orders of
+// 1993Q3 that have at least one late lineitem. The distributed plan
+// broadcasts the filtered (small) ORDERS columns, semi-joins against local
+// LINEITEM, deduplicates order keys with a repartition, and gathers the
+// five-row result. With local set (and a co-partitioned database) the semi
+// join runs without any data shuffle, the paper's "local data" baseline.
+func RunQ4(c *cluster.Cluster, db *DB, f cluster.ProviderFactory, local bool) *QueryResult {
+	res := &QueryResult{}
+	c.Sim.Spawn("q4", func(p *sim.Proc) {
+		pl := newPlan(c, f)
+
+		ordersIn := func(node int) engine.Operator {
+			return &engine.Project{
+				In: &engine.Filter{
+					In: &engine.Scan{T: db.Orders[node]},
+					Pred: func(b *engine.Batch, i int) bool {
+						d := b.Int64(i, OOrderDate)
+						return d >= Date(1993, 7, 1) && d < Date(1993, 10, 1)
+					},
+				},
+				Cols: []int{OOrderKey, OOrderPriority},
+			}
+		}
+		lineIn := func(node int) engine.Operator {
+			return &engine.Project{
+				In: &engine.Filter{
+					In: &engine.Scan{T: db.Lineitem[node]},
+					Pred: func(b *engine.Batch, i int) bool {
+						return b.Int64(i, LCommitDate) < b.Int64(i, LReceiptDate)
+					},
+				},
+				Cols: []int{LOrderKey},
+			}
+		}
+
+		var matchedIn func(node int) engine.Operator
+		if local {
+			matchedIn = func(node int) engine.Operator {
+				return &engine.HashJoin{
+					Build: ordersIn(node), Probe: lineIn(node),
+					BuildKey: 0, ProbeKey: 0, Semi: true,
+				}
+			}
+		} else {
+			bcast := pl.exchange(p, shuffle.Broadcast(c.N), 0, ordersIn)
+			matchedIn = func(node int) engine.Operator {
+				return &engine.HashJoin{
+					Build: bcast[node], Probe: lineIn(node),
+					BuildKey: 0, ProbeKey: 0, Semi: true,
+				}
+			}
+		}
+
+		// Deduplicate matched orders globally (broadcast-side semi joins can
+		// match the same order on several nodes), then count per priority.
+		var perPrioIn func(node int) engine.Operator
+		if local {
+			perPrioIn = matchedIn
+		} else {
+			dedupIn := pl.exchange(p, shuffle.Repartition(c.N), 0, matchedIn)
+			perPrioIn = func(node int) engine.Operator {
+				return &engine.HashAgg{In: dedupIn[node], KeyCols: []int{0, 1},
+					Aggs: []engine.AggSpec{{Kind: engine.AggCount}}}
+			}
+		}
+		perPrio := func(node int) engine.Operator {
+			keyCols := []int{1} // priority column of (okey, priority, ...)
+			return &engine.HashAgg{In: perPrioIn(node), KeyCols: keyCols,
+				Aggs: []engine.AggSpec{{Kind: engine.AggCount}}}
+		}
+
+		finalRecv := pl.exchange(p, gather(), 0, perPrio)
+		var final *engine.Sink
+		for node := 0; node < c.N; node++ {
+			root := &engine.TopN{
+				In: &engine.HashAgg{In: finalRecv[node], KeyCols: []int{0},
+					Aggs: []engine.AggSpec{sumCol(1)}},
+				Less: func(sch *engine.Schema, a, b []byte) bool {
+					return string(a[:16]) < string(b[:16]) // priority ascending
+				},
+			}
+			s := pl.fragment(node, root, node == 0)
+			if node == 0 {
+				final = s
+			}
+		}
+		pl.finish(p.Now(), res, final)
+	})
+	if err := c.Sim.Run(); err != nil && res.Err == nil {
+		res.Err = err
+	}
+	return res
+}
+
+// RunQ3 executes TPC-H Q3: the ten highest-revenue undelivered orders for
+// the BUILDING market segment. CUSTOMER and ORDERS repartition on customer
+// key for the first join; its output and LINEITEM repartition on order key
+// for the second; grouped revenues are gathered and the top ten extracted.
+func RunQ3(c *cluster.Cluster, db *DB, f cluster.ProviderFactory) *QueryResult {
+	res := &QueryResult{}
+	c.Sim.Spawn("q3", func(p *sim.Proc) {
+		pl := newPlan(c, f)
+
+		custRecv := pl.exchange(p, shuffle.Repartition(c.N), 0, func(node int) engine.Operator {
+			return &engine.Project{
+				In: &engine.Filter{
+					In: &engine.Scan{T: db.Customer[node]},
+					Pred: func(b *engine.Batch, i int) bool {
+						return b.Int64(i, CMktSegment) == SegBuilding
+					},
+				},
+				Cols: []int{CCustKey},
+			}
+		})
+		ordRecv := pl.exchange(p, shuffle.Repartition(c.N), 0, func(node int) engine.Operator {
+			return &engine.Project{
+				In: &engine.Filter{
+					In: &engine.Scan{T: db.Orders[node]},
+					Pred: func(b *engine.Batch, i int) bool {
+						return b.Int64(i, OOrderDate) < Date(1995, 3, 15)
+					},
+				},
+				Cols: []int{OCustKey, OOrderKey, OOrderDate, OShipPriority},
+			}
+		})
+
+		// join1 output: (custkey) ++ (custkey, okey, odate, shippri);
+		// keep (okey, odate, shippri) and repartition on order key.
+		j1Recv := pl.exchange(p, shuffle.Repartition(c.N), 0, func(node int) engine.Operator {
+			return &engine.Project{
+				In: &engine.HashJoin{
+					Build: custRecv[node], Probe: ordRecv[node],
+					BuildKey: 0, ProbeKey: 0,
+				},
+				Cols: []int{2, 3, 4},
+			}
+		})
+		lineRecv := pl.exchange(p, shuffle.Repartition(c.N), 0, func(node int) engine.Operator {
+			return &engine.Project{
+				In: &engine.Filter{
+					In: &engine.Scan{T: db.Lineitem[node]},
+					Pred: func(b *engine.Batch, i int) bool {
+						return b.Int64(i, LShipDate) > Date(1995, 3, 15)
+					},
+				},
+				Cols: []int{LOrderKey, LExtendedPrice, LDiscount},
+			}
+		})
+
+		// join2 output: (okey, odate, shippri) ++ (okey, price, disc).
+		aggRecv := pl.exchange(p, gather(), 0, func(node int) engine.Operator {
+			return &engine.HashAgg{
+				In: &engine.HashJoin{
+					Build: j1Recv[node], Probe: lineRecv[node],
+					BuildKey: 0, ProbeKey: 0,
+				},
+				KeyCols: []int{0, 1, 2},
+				Aggs:    []engine.AggSpec{revenue(4, 5)},
+			}
+		})
+
+		var final *engine.Sink
+		for node := 0; node < c.N; node++ {
+			root := &engine.TopN{
+				In: &engine.HashAgg{In: aggRecv[node], KeyCols: []int{0, 1, 2},
+					Aggs: []engine.AggSpec{sumCol(3)}},
+				N: 10,
+				Less: func(sch *engine.Schema, a, b []byte) bool {
+					ra := engine.RowInt64(sch, a, 3)
+					rb := engine.RowInt64(sch, b, 3)
+					fa, fb := f64(ra), f64(rb)
+					if fa != fb {
+						return fa > fb // revenue descending
+					}
+					return engine.RowInt64(sch, a, 1) < engine.RowInt64(sch, b, 1)
+				},
+			}
+			s := pl.fragment(node, root, node == 0)
+			if node == 0 {
+				final = s
+			}
+		}
+		pl.finish(p.Now(), res, final)
+	})
+	if err := c.Sim.Run(); err != nil && res.Err == nil {
+		res.Err = err
+	}
+	return res
+}
+
+// RunQ10 executes TPC-H Q10: the twenty customers with the highest revenue
+// from returned items in 1993Q4, joined with their nation. ORDERS and
+// LINEITEM repartition on order key, pre-aggregated revenue repartitions on
+// customer key against the customer×nation join, and the result gathers.
+func RunQ10(c *cluster.Cluster, db *DB, f cluster.ProviderFactory) *QueryResult {
+	res := &QueryResult{}
+	c.Sim.Spawn("q10", func(p *sim.Proc) {
+		pl := newPlan(c, f)
+
+		ordRecv := pl.exchange(p, shuffle.Repartition(c.N), 0, func(node int) engine.Operator {
+			return &engine.Project{
+				In: &engine.Filter{
+					In: &engine.Scan{T: db.Orders[node]},
+					Pred: func(b *engine.Batch, i int) bool {
+						d := b.Int64(i, OOrderDate)
+						return d >= Date(1993, 10, 1) && d < Date(1994, 1, 1)
+					},
+				},
+				Cols: []int{OOrderKey, OCustKey},
+			}
+		})
+		lineRecv := pl.exchange(p, shuffle.Repartition(c.N), 0, func(node int) engine.Operator {
+			return &engine.Project{
+				In: &engine.Filter{
+					In: &engine.Scan{T: db.Lineitem[node]},
+					Pred: func(b *engine.Batch, i int) bool {
+						return b.Int64(i, LReturnFlag) == ReturnFlagR
+					},
+				},
+				Cols: []int{LOrderKey, LExtendedPrice, LDiscount},
+			}
+		})
+
+		// join1: (okey, custkey) ++ (okey, price, disc); pre-aggregate
+		// revenue per customer, then repartition on customer key.
+		revRecv := pl.exchange(p, shuffle.Repartition(c.N), 0, func(node int) engine.Operator {
+			return &engine.HashAgg{
+				In: &engine.HashJoin{
+					Build: ordRecv[node], Probe: lineRecv[node],
+					BuildKey: 0, ProbeKey: 0,
+				},
+				KeyCols: []int{1}, // custkey
+				Aggs:    []engine.AggSpec{revenue(3, 4)},
+			}
+		})
+		// Customer ⋈ NATION is local (NATION is replicated); output wide
+		// customer attributes keyed by custkey.
+		custRecv := pl.exchange(p, shuffle.Repartition(c.N), 0, func(node int) engine.Operator {
+			return &engine.Project{
+				In: &engine.HashJoin{
+					Build: &engine.Scan{T: db.Nation}, Probe: &engine.Scan{T: db.Customer[node]},
+					BuildKey: NNationKey, ProbeKey: CNationKey,
+				},
+				// nation(nk,name,rk) ++ customer(8 cols)
+				Cols: []int{3 + CCustKey, 3 + CName, 3 + CAcctBal, 3 + CPhone,
+					3 + CAddress, 3 + CComment, NName},
+			}
+		})
+
+		// join2: customer attrs ++ (custkey, revenue); aggregate and gather.
+		aggRecv := pl.exchange(p, gather(), 0, func(node int) engine.Operator {
+			return &engine.HashAgg{
+				In: &engine.HashJoin{
+					Build: custRecv[node], Probe: revRecv[node],
+					BuildKey: 0, ProbeKey: 0,
+				},
+				KeyCols: []int{0, 1, 2, 3, 4, 5, 6},
+				Aggs:    []engine.AggSpec{sumCol(8)},
+			}
+		})
+
+		var final *engine.Sink
+		for node := 0; node < c.N; node++ {
+			root := &engine.TopN{
+				In: &engine.HashAgg{In: aggRecv[node], KeyCols: []int{0, 1, 2, 3, 4, 5, 6},
+					Aggs: []engine.AggSpec{sumCol(7)}},
+				N: 20,
+				Less: func(sch *engine.Schema, a, b []byte) bool {
+					return f64(engine.RowInt64(sch, a, 7)) > f64(engine.RowInt64(sch, b, 7))
+				},
+			}
+			s := pl.fragment(node, root, node == 0)
+			if node == 0 {
+				final = s
+			}
+		}
+		pl.finish(p.Now(), res, final)
+	})
+	if err := c.Sim.Run(); err != nil && res.Err == nil {
+		res.Err = err
+	}
+	return res
+}
+
+func f64(bits int64) float64 {
+	return math.Float64frombits(uint64(bits))
+}

@@ -1,0 +1,526 @@
+package verbs
+
+import (
+	"fmt"
+
+	"rshuffle/internal/fabric"
+	"rshuffle/internal/sim"
+)
+
+// MaxInline is the largest payload that may be posted with SendWR.Inline.
+const MaxInline = 220
+
+// AH is an address handle identifying a UD destination: either a single
+// (node, QPN) pair, or a hardware multicast group when Multicast is set.
+type AH struct {
+	Node int
+	QPN  uint32
+	// Multicast addresses the MGID group instead of a single QP; the switch
+	// replicates the datagram to every attached QP (one work request, one
+	// uplink serialization at the sender).
+	Multicast bool
+	MGID      uint32
+}
+
+// RecvWR is a receive work request: a registered buffer slot into which one
+// incoming Send will be placed.
+type RecvWR struct {
+	ID     uint64
+	MR     *MR
+	Offset int
+	Len    int
+}
+
+// SendWR is a send-side work request for the Send, Read, or Write transport
+// functions.
+type SendWR struct {
+	ID uint64
+	Op Opcode
+
+	// Local buffer.
+	MR     *MR
+	Offset int
+	Len    int
+
+	// Imm is carried to the receiver's completion when HasImm is set
+	// (Send only).
+	Imm    uint32
+	HasImm bool
+
+	// Inline asks the CPU to copy the payload into the work request itself,
+	// allowing the buffer to be reused as soon as the post returns.
+	Inline bool
+
+	// Dest addresses the destination of a UD Send.
+	Dest AH
+
+	// RemoteKey and RemoteOffset address the remote region for Read/Write.
+	RemoteKey    uint32
+	RemoteOffset int
+}
+
+// QPConfig configures CreateQP.
+type QPConfig struct {
+	Type    fabric.Service
+	SendCQ  *CQ
+	RecvCQ  *CQ
+	MaxSend int // send queue depth
+	MaxRecv int // receive queue depth
+}
+
+// QP is a queue pair. Its methods are thread-safe: posting verbs serialize
+// on an internal FIFO lock, which is exactly the contention the paper
+// observes on ibv_post_send when many threads share one QP.
+type QP struct {
+	dev *Device
+	qpn uint32
+	cfg QPConfig
+	mu  *sim.Mutex
+
+	connected bool
+	peerNode  int
+	peerQPN   uint32
+
+	recvQ       []RecvWR
+	outstanding int
+
+	// stalled holds RC messages that arrived while no receive was posted.
+	// The connection preserves ordering: later arrivals queue behind the
+	// RNR-NAKed head and are matched in arrival order once receives appear.
+	stalled      []stalledRC
+	drainPending bool
+
+	destroyed bool
+}
+
+// stalledRC is an in-flight RC message waiting for a posted receive.
+type stalledRC struct {
+	payload []byte
+	wr      SendWR
+	src     *QP
+}
+
+// CreateQP creates a queue pair of the configured type. It panics if the
+// transport does not offer the requested service (iWARP has no UD).
+func (d *Device) CreateQP(cfg QPConfig) *QP {
+	if cfg.Type == fabric.UD && !d.prof().SupportsUD {
+		panic(fmt.Sprintf("verbs: %s offers no Unreliable Datagram service", d.prof().Name))
+	}
+	if cfg.MaxSend <= 0 {
+		cfg.MaxSend = 128
+	}
+	if cfg.MaxRecv <= 0 {
+		cfg.MaxRecv = 512
+	}
+	d.nextQPN++
+	qp := &QP{
+		dev: d,
+		qpn: d.nextQPN,
+		cfg: cfg,
+		mu:  d.net.Sim.NewMutex(fmt.Sprintf("qp%d@%d", d.nextQPN, d.node)),
+	}
+	d.qps[qp.qpn] = qp
+	return qp
+}
+
+// QPN returns the queue pair number, unique within the device.
+func (qp *QP) QPN() uint32 { return qp.qpn }
+
+// Type returns the transport service of this QP.
+func (qp *QP) Type() fabric.Service { return qp.cfg.Type }
+
+// Destroy removes the QP; subsequent deliveries to it are dropped.
+func (qp *QP) Destroy() {
+	qp.destroyed = true
+	delete(qp.dev.qps, qp.qpn)
+}
+
+// cacheKey identifies this QP's state in NIC caches across the cluster.
+func (qp *QP) cacheKey() uint64 { return uint64(qp.dev.node)<<32 | uint64(qp.qpn) }
+
+// Connect binds an RC queue pair to its single remote peer. Both sides must
+// connect before traffic flows. The out-of-band exchange cost is accounted
+// by the cluster connection manager, not here.
+func (qp *QP) Connect(peerNode int, peerQPN uint32) error {
+	if qp.cfg.Type != fabric.RC {
+		return ErrBadOp
+	}
+	qp.connected = true
+	qp.peerNode = peerNode
+	qp.peerQPN = peerQPN
+	return nil
+}
+
+// PostRecv posts a receive buffer. The buffer must stay untouched until its
+// completion arrives. For UD queue pairs the first GRHSize bytes of the
+// slot are consumed by the routing header, so Len must exceed GRHSize.
+func (qp *QP) PostRecv(p *sim.Proc, wr RecvWR) error {
+	qp.mu.Lock(p)
+	defer qp.mu.Unlock(p)
+	p.Sleep(qp.dev.prof().PostCost)
+	qp.dev.stats.Posts++
+	if len(qp.recvQ) >= qp.cfg.MaxRecv {
+		return ErrRQFull
+	}
+	if wr.Offset < 0 || wr.Offset+wr.Len > len(wr.MR.Buf) {
+		return ErrOutOfRange
+	}
+	if qp.cfg.Type == fabric.UD && wr.Len <= GRHSize {
+		return ErrTooLong
+	}
+	qp.recvQ = append(qp.recvQ, wr)
+	qp.drainStalled()
+	return nil
+}
+
+// RecvQueued returns the number of posted, unmatched receive buffers.
+func (qp *QP) RecvQueued() int { return len(qp.recvQ) }
+
+// PostSend posts a Send, Read, or Write work request. It never blocks on
+// the network; completion arrives on the send CQ.
+func (qp *QP) PostSend(p *sim.Proc, wr SendWR) error {
+	qp.mu.Lock(p)
+	p.Sleep(qp.dev.prof().PostCost)
+	qp.dev.stats.Posts++
+	if qp.outstanding >= qp.cfg.MaxSend {
+		qp.mu.Unlock(p)
+		return ErrSQFull
+	}
+	if wr.Offset < 0 || wr.Offset+wr.Len > len(wr.MR.Buf) {
+		qp.mu.Unlock(p)
+		return ErrOutOfRange
+	}
+	var err error
+	switch wr.Op {
+	case OpSend:
+		err = qp.postSendMsg(p, wr)
+	case OpRead:
+		err = qp.postRead(wr)
+	case OpWrite:
+		err = qp.postWrite(p, wr)
+	default:
+		err = ErrBadOp
+	}
+	if err == nil {
+		qp.outstanding++
+	}
+	qp.mu.Unlock(p)
+	return err
+}
+
+// Outstanding returns the number of posted sends whose completions have not
+// been generated yet.
+func (qp *QP) Outstanding() int { return qp.outstanding }
+
+func (qp *QP) complete(cq *CQ, e CQE) {
+	qp.outstanding--
+	cq.push(e)
+}
+
+func (qp *QP) postSendMsg(p *sim.Proc, wr SendWR) error {
+	prof := qp.dev.prof()
+	var toNode int
+	var toQPN uint32
+	switch qp.cfg.Type {
+	case fabric.RC:
+		if !qp.connected {
+			return ErrNotConnected
+		}
+		if wr.Len > prof.MaxMsgRC {
+			return ErrTooLong
+		}
+		toNode, toQPN = qp.peerNode, qp.peerQPN
+	case fabric.UD:
+		if wr.Len > prof.MTU {
+			return ErrTooLong
+		}
+		if wr.Dest.Multicast {
+			return qp.postMulticast(p, wr)
+		}
+		toNode, toQPN = wr.Dest.Node, wr.Dest.QPN
+	}
+	if wr.Inline {
+		if wr.Len > MaxInline {
+			return ErrTooLong
+		}
+		// The CPU copies the payload into the WQE; charged here.
+		p.Sleep(sim.Duration(float64(wr.Len) * prof.MemCopyPerByte))
+	}
+	// Snapshot the payload: the NIC DMA-reads it during transmission, and a
+	// correct application may reuse the buffer after the send completion,
+	// which for UD fires before delivery.
+	payload := make([]byte, wr.Len)
+	copy(payload, wr.MR.Buf[wr.Offset:wr.Offset+wr.Len])
+
+	msg := &fabric.Message{
+		From: qp.dev.node, To: toNode,
+		FromQP: qp.cacheKey(), ToQP: uint64(toNode)<<32 | uint64(toQPN),
+		Payload: wr.Len, Service: qp.cfg.Type,
+	}
+	net := qp.dev.net
+	switch qp.cfg.Type {
+	case fabric.UD:
+		// Local completion when the datagram is on the wire.
+		msg.Sent = func(at sim.Time) {
+			qp.dev.stats.SendsCompleted++
+			qp.complete(qp.cfg.SendCQ, CQE{QPN: qp.qpn, WRID: wr.ID, Op: OpSend, Bytes: wr.Len})
+		}
+		msg.Deliver = func(at sim.Time) { deliverUD(net, toNode, toQPN, qp.dev.node, qp.qpn, payload, wr) }
+		msg.Dropped = func() {}
+	case fabric.RC:
+		msg.Deliver = func(at sim.Time) {
+			qp.deliverRC(toNode, toQPN, payload, wr)
+		}
+	}
+	net.Transmit(msg)
+	return nil
+}
+
+// postMulticast sends one datagram to every QP attached to the MGID.
+func (qp *QP) postMulticast(p *sim.Proc, wr SendWR) error {
+	if wr.Inline {
+		if wr.Len > MaxInline {
+			return ErrTooLong
+		}
+		p.Sleep(sim.Duration(float64(wr.Len) * qp.dev.prof().MemCopyPerByte))
+	}
+	payload := make([]byte, wr.Len)
+	copy(payload, wr.MR.Buf[wr.Offset:wr.Offset+wr.Len])
+
+	net := qp.dev.net
+	// The switch knows the membership; collect member nodes and their
+	// attached QPs.
+	var nodes []int
+	members := map[int][]*QP{}
+	for i := 0; i < net.Nodes(); i++ {
+		d, ok := net.Host(i).(*Device)
+		if !ok {
+			continue
+		}
+		if qps := d.mcast[wr.Dest.MGID]; len(qps) > 0 {
+			nodes = append(nodes, i)
+			members[i] = qps
+		}
+	}
+	msg := &fabric.Message{
+		From: qp.dev.node, To: -1,
+		FromQP: qp.cacheKey(), ToQP: uint64(wr.Dest.MGID) | 1<<48,
+		Payload: wr.Len, Service: fabric.UD,
+		Sent: func(at sim.Time) {
+			qp.dev.stats.SendsCompleted++
+			qp.complete(qp.cfg.SendCQ, CQE{QPN: qp.qpn, WRID: wr.ID, Op: OpSend, Bytes: wr.Len})
+		},
+		Dropped: func() {},
+	}
+	src, srcQPN := qp.dev.node, qp.qpn
+	net.TransmitMulticast(msg, nodes, func(dest int, at sim.Time) {
+		for _, rqp := range members[dest] {
+			deliverUD(net, dest, rqp.qpn, src, srcQPN, payload, wr)
+		}
+	})
+	return nil
+}
+
+// deliverRC lands an RC Send at its destination. If no receive is posted
+// (or earlier messages are already stalled) the message joins the
+// connection's stall queue: the destination returned an RNR NAK and the
+// retried message must still be matched in its original order, as the
+// Reliable Connection service guarantees in-order delivery.
+func (qp *QP) deliverRC(toNode int, toQPN uint32, payload []byte, wr SendWR) {
+	dst := deviceAt(qp.dev.net, toNode)
+	rqp := dst.qps[toQPN]
+	if rqp == nil || rqp.destroyed || rqp.cfg.Type != fabric.RC {
+		panic(fmt.Sprintf("verbs: RC send to nonexistent QP %d on node %d", toQPN, toNode))
+	}
+	if len(rqp.stalled) > 0 || len(rqp.recvQ) == 0 {
+		qp.dev.stats.RNRRetries++
+		rqp.stalled = append(rqp.stalled, stalledRC{payload: payload, wr: wr, src: qp})
+		return
+	}
+	rqp.match(stalledRC{payload: payload, wr: wr, src: qp})
+}
+
+// match consumes one posted receive for message m and generates both
+// completions.
+func (rqp *QP) match(m stalledRC) {
+	net := rqp.dev.net
+	rwr := rqp.recvQ[0]
+	rqp.recvQ = rqp.recvQ[1:]
+	if rwr.Len < len(m.payload) {
+		panic(fmt.Sprintf("verbs: RC recv buffer too small (%d < %d) on node %d",
+			rwr.Len, len(m.payload), rqp.dev.node))
+	}
+	copy(rwr.MR.Buf[rwr.Offset:], m.payload)
+	rqp.dev.stats.RecvsCompleted++
+	rqp.cfg.RecvCQ.push(CQE{
+		QPN: rqp.qpn, WRID: rwr.ID, Op: OpRecv, Bytes: len(m.payload),
+		Imm: m.wr.Imm, HasImm: m.wr.HasImm,
+		SrcNode: m.src.dev.node, SrcQPN: m.src.qpn,
+	})
+	// Sender completion once the ACK returns.
+	src, wrID, n := m.src, m.wr.ID, len(m.payload)
+	net.Sim.After(net.Prof.PropagationDelay, func() {
+		src.dev.stats.SendsCompleted++
+		src.complete(src.cfg.SendCQ, CQE{QPN: src.qpn, WRID: wrID, Op: OpSend, Bytes: n})
+	})
+}
+
+// drainStalled matches stalled messages against newly posted receives after
+// one RNR retry delay, preserving arrival order.
+func (rqp *QP) drainStalled() {
+	if rqp.drainPending || len(rqp.stalled) == 0 {
+		return
+	}
+	rqp.drainPending = true
+	net := rqp.dev.net
+	net.Sim.After(net.Prof.RNRRetryDelay, func() {
+		rqp.drainPending = false
+		for len(rqp.stalled) > 0 && len(rqp.recvQ) > 0 {
+			m := rqp.stalled[0]
+			rqp.stalled = rqp.stalled[1:]
+			rqp.match(m)
+		}
+	})
+}
+
+// deliverUD lands a datagram: no receive posted, wrong QP type, or an
+// undersized buffer silently consumes the packet.
+func deliverUD(net *fabric.Network, toNode int, toQPN uint32, srcNode int, srcQPN uint32, payload []byte, wr SendWR) {
+	dst := deviceAt(net, toNode)
+	rqp := dst.qps[toQPN]
+	if rqp == nil || rqp.destroyed || rqp.cfg.Type != fabric.UD {
+		dst.stats.UDNoRecvDrops++
+		return
+	}
+	if len(rqp.recvQ) == 0 {
+		dst.stats.UDNoRecvDrops++
+		return
+	}
+	rwr := rqp.recvQ[0]
+	if rwr.Len < GRHSize+len(payload) {
+		// Real hardware completes this receive in error; the common outcome
+		// for the application is a lost message.
+		rqp.recvQ = rqp.recvQ[1:]
+		dst.stats.UDNoRecvDrops++
+		return
+	}
+	rqp.recvQ = rqp.recvQ[1:]
+	copy(rwr.MR.Buf[rwr.Offset+GRHSize:], payload)
+	dst.stats.RecvsCompleted++
+	rqp.cfg.RecvCQ.push(CQE{
+		QPN: rqp.qpn, WRID: rwr.ID, Op: OpRecv, Bytes: GRHSize + len(payload),
+		Imm: wr.Imm, HasImm: wr.HasImm,
+		SrcNode: srcNode, SrcQPN: srcQPN,
+	})
+}
+
+func (qp *QP) postRead(wr SendWR) error {
+	if qp.cfg.Type != fabric.RC {
+		return ErrBadOp
+	}
+	if !qp.connected {
+		return ErrNotConnected
+	}
+	prof := qp.dev.prof()
+	if wr.Len > prof.MaxMsgRC {
+		return ErrTooLong
+	}
+	net := qp.dev.net
+	remote := deviceAt(net, qp.peerNode)
+	// Request leg: a small control packet to the responder NIC.
+	req := &fabric.Message{
+		From: qp.dev.node, To: qp.peerNode,
+		FromQP: qp.cacheKey(), ToQP: uint64(qp.peerNode)<<32 | uint64(qp.peerQPN),
+		Payload: prof.ReadRequestBytes, Service: fabric.RC,
+	}
+	req.Deliver = func(at sim.Time) {
+		// The responder NIC DMA-reads the region now — no remote CPU.
+		rmr := remote.mrs[wr.RemoteKey]
+		if rmr == nil || wr.RemoteOffset < 0 || wr.RemoteOffset+wr.Len > len(rmr.Buf) {
+			panic(fmt.Sprintf("verbs: RDMA Read outside remote MR (rkey %d, off %d, len %d)",
+				wr.RemoteKey, wr.RemoteOffset, wr.Len))
+		}
+		data := make([]byte, wr.Len)
+		copy(data, rmr.Buf[wr.RemoteOffset:wr.RemoteOffset+wr.Len])
+		resp := &fabric.Message{
+			From: qp.peerNode, To: qp.dev.node,
+			FromQP: uint64(qp.peerNode)<<32 | uint64(qp.peerQPN), ToQP: qp.cacheKey(),
+			Payload: wr.Len, Service: fabric.RC,
+		}
+		resp.Deliver = func(at sim.Time) {
+			copy(wr.MR.Buf[wr.Offset:], data)
+			qp.dev.stats.ReadsCompleted++
+			qp.complete(qp.cfg.SendCQ, CQE{QPN: qp.qpn, WRID: wr.ID, Op: OpRead, Bytes: wr.Len})
+		}
+		net.Transmit(resp)
+	}
+	net.Transmit(req)
+	return nil
+}
+
+func (qp *QP) postWrite(p *sim.Proc, wr SendWR) error {
+	if qp.cfg.Type != fabric.RC {
+		return ErrBadOp
+	}
+	if !qp.connected {
+		return ErrNotConnected
+	}
+	prof := qp.dev.prof()
+	if wr.Len > prof.MaxMsgRC {
+		return ErrTooLong
+	}
+	if wr.Inline {
+		if wr.Len > MaxInline {
+			return ErrTooLong
+		}
+		p.Sleep(sim.Duration(float64(wr.Len) * prof.MemCopyPerByte))
+	}
+	payload := make([]byte, wr.Len)
+	copy(payload, wr.MR.Buf[wr.Offset:wr.Offset+wr.Len])
+	net := qp.dev.net
+	remote := deviceAt(net, qp.peerNode)
+	msg := &fabric.Message{
+		From: qp.dev.node, To: qp.peerNode,
+		FromQP: qp.cacheKey(), ToQP: uint64(qp.peerNode)<<32 | uint64(qp.peerQPN),
+		Payload: wr.Len, Service: fabric.RC,
+	}
+	msg.Deliver = func(at sim.Time) {
+		rmr := remote.mrs[wr.RemoteKey]
+		if rmr == nil || wr.RemoteOffset < 0 || wr.RemoteOffset+wr.Len > len(rmr.Buf) {
+			panic(fmt.Sprintf("verbs: RDMA Write outside remote MR (rkey %d, off %d, len %d)",
+				wr.RemoteKey, wr.RemoteOffset, wr.Len))
+		}
+		copy(rmr.Buf[wr.RemoteOffset:], payload)
+		remote.stats.RemoteWrites++
+		remote.memWake.Broadcast()
+		net.Sim.After(net.Prof.PropagationDelay, func() {
+			qp.dev.stats.WritesCompleted++
+			qp.complete(qp.cfg.SendCQ, CQE{QPN: qp.qpn, WRID: wr.ID, Op: OpWrite, Bytes: wr.Len})
+		})
+	}
+	net.Transmit(msg)
+	return nil
+}
+
+// OpenAll opens one device per node, attaches each to its fabric node so
+// delivery callbacks can dispatch, and returns them. Call it exactly once
+// per network.
+func OpenAll(net *fabric.Network) []*Device {
+	devs := make([]*Device, net.Nodes())
+	for i := range devs {
+		if net.Host(i) != nil {
+			panic("verbs: OpenAll called twice for the same network")
+		}
+		devs[i] = Open(net, i)
+		net.SetHost(i, devs[i])
+	}
+	return devs
+}
+
+func deviceAt(net *fabric.Network, node int) *Device {
+	d, ok := net.Host(node).(*Device)
+	if !ok {
+		panic("verbs: network node has no verbs device; use OpenAll")
+	}
+	return d
+}

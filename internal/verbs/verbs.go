@@ -1,0 +1,310 @@
+// Package verbs provides an InfiniBand-verbs-shaped RDMA API over the
+// simulated fabric: devices, memory regions, completion queues, and Reliable
+// Connection / Unreliable Datagram Queue Pairs supporting the Send, Receive,
+// Read, and Write transport functions.
+//
+// The API mirrors the ibv_* interface closely enough that the paper's
+// algorithms translate line for line: receive buffers must be posted before
+// a Send arrives (RC retries after an RNR delay; UD drops silently), UD
+// receive payloads land after a 40-byte GRH gap, one-sided Read/Write never
+// involve the remote CPU, and every verb charges the calling Proc the
+// calibrated CPU cost from the fabric profile.
+package verbs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rshuffle/internal/fabric"
+	"rshuffle/internal/sim"
+)
+
+// GRHSize is the number of bytes reserved at the front of every UD receive
+// buffer, as in real IB verbs (the Global Routing Header area).
+const GRHSize = 40
+
+// Exported error values returned by the posting verbs.
+var (
+	ErrSQFull       = errors.New("verbs: send queue full")
+	ErrRQFull       = errors.New("verbs: receive queue full")
+	ErrTooLong      = errors.New("verbs: message exceeds transport limit")
+	ErrNotConnected = errors.New("verbs: RC queue pair not connected")
+	ErrBadOp        = errors.New("verbs: operation not supported by transport")
+	ErrOutOfRange   = errors.New("verbs: access outside memory region")
+)
+
+// Device is a per-node verbs context (the result of ibv_open_device).
+type Device struct {
+	net     *fabric.Network
+	node    int
+	nextQPN uint32
+	nextKey uint32
+	qps     map[uint32]*QP
+	mrs     map[uint32]*MR
+
+	registered     int64
+	peakRegistered int64
+
+	// memWake is broadcast whenever a one-sided Write (or Read-side buffer
+	// fill) lands in this node's memory, so applications that poll plain
+	// memory locations can block instead of spinning the scheduler.
+	memWake *sim.Cond
+
+	// mcast holds this node's multicast group attachments.
+	mcast map[uint32][]*QP
+
+	stats DeviceStats
+}
+
+// DeviceStats counts verb-level activity on one device.
+type DeviceStats struct {
+	Posts, Polls    int64
+	RNRRetries      int64
+	UDNoRecvDrops   int64
+	RemoteWrites    int64
+	SendsCompleted  int64
+	RecvsCompleted  int64
+	ReadsCompleted  int64
+	WritesCompleted int64
+}
+
+// Open returns the verbs context for the given node.
+func Open(net *fabric.Network, node int) *Device {
+	d := &Device{
+		net:   net,
+		node:  node,
+		qps:   make(map[uint32]*QP),
+		mrs:   make(map[uint32]*MR),
+		mcast: make(map[uint32][]*QP),
+	}
+	d.memWake = net.Sim.NewCond(fmt.Sprintf("memwake@%d", node))
+	return d
+}
+
+// Node returns the fabric node id of this device.
+func (d *Device) Node() int { return d.node }
+
+// Network returns the underlying fabric.
+func (d *Device) Network() *fabric.Network { return d.net }
+
+// Stats returns a copy of the device counters.
+func (d *Device) Stats() DeviceStats { return d.stats }
+
+func (d *Device) prof() *fabric.Profile { return &d.net.Prof }
+
+// MR is a registered memory region. Buf is the pinned memory itself; remote
+// peers address it by (RKey, offset).
+type MR struct {
+	dev  *Device
+	Buf  []byte
+	LKey uint32
+	RKey uint32
+}
+
+// RegisterMR pins and registers buf, charging p the registration cost.
+func (d *Device) RegisterMR(p *sim.Proc, buf []byte) *MR {
+	p.Sleep(d.prof().MemRegBase + sim.Duration(float64(len(buf))*d.prof().MemRegPerByte))
+	return d.RegisterMRNoCost(buf)
+}
+
+// RegisterMRNoCost registers buf without charging virtual time; it is meant
+// for tests and for setup phases whose cost is accounted elsewhere.
+func (d *Device) RegisterMRNoCost(buf []byte) *MR {
+	d.nextKey++
+	mr := &MR{dev: d, Buf: buf, LKey: d.nextKey, RKey: d.nextKey}
+	d.mrs[mr.RKey] = mr
+	d.registered += int64(len(buf))
+	if d.registered > d.peakRegistered {
+		d.peakRegistered = d.registered
+	}
+	return mr
+}
+
+// Deregister unpins the region, charging p the deregistration cost.
+func (m *MR) Deregister(p *sim.Proc) {
+	p.Sleep(m.dev.prof().MemDeregBase)
+	delete(m.dev.mrs, m.RKey)
+	m.dev.registered -= int64(len(m.Buf))
+}
+
+// RegisteredBytes returns the bytes currently registered on this device.
+func (d *Device) RegisteredBytes() int64 { return d.registered }
+
+// PeakRegisteredBytes returns the high-water mark of registered bytes.
+func (d *Device) PeakRegisteredBytes() int64 { return d.peakRegistered }
+
+// AttachMulticast joins qp (which must be UD) to the multicast group mgid,
+// like ibv_attach_mcast. Datagrams sent to the group consume posted
+// receives exactly like unicast UD sends.
+func (d *Device) AttachMulticast(qp *QP, mgid uint32) error {
+	if qp.cfg.Type != fabric.UD {
+		return ErrBadOp
+	}
+	d.mcast[mgid] = append(d.mcast[mgid], qp)
+	return nil
+}
+
+// DetachMulticast removes qp from the group.
+func (d *Device) DetachMulticast(qp *QP, mgid uint32) {
+	qps := d.mcast[mgid]
+	for i, q := range qps {
+		if q == qp {
+			d.mcast[mgid] = append(qps[:i], qps[i+1:]...)
+			return
+		}
+	}
+}
+
+// KickMemWaiters wakes every Proc blocked in WaitMemChange; see CQ.Kick.
+func (d *Device) KickMemWaiters() { d.memWake.Broadcast() }
+
+// WaitMemChange blocks p until a remote one-sided operation modifies this
+// node's memory, or until the timeout elapses. It models an application
+// spin-polling a plain memory location; each wakeup charges one poll cost.
+// It returns false on timeout. A non-positive timeout waits indefinitely,
+// which lets the simulator's deadlock detector catch protocol bugs.
+func (d *Device) WaitMemChange(p *sim.Proc, timeout sim.Duration) bool {
+	ok := true
+	if timeout <= 0 {
+		d.memWake.Wait(p)
+	} else {
+		ok = d.memWake.WaitTimeout(p, timeout)
+	}
+	p.Sleep(d.prof().PollCost)
+	return ok
+}
+
+// Opcode identifies a work request or completion type.
+type Opcode int
+
+const (
+	OpSend Opcode = iota
+	OpRecv
+	OpRead
+	OpWrite
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpSend:
+		return "SEND"
+	case OpRecv:
+		return "RECV"
+	case OpRead:
+		return "READ"
+	default:
+		return "WRITE"
+	}
+}
+
+// CQE is a completion queue entry.
+type CQE struct {
+	QPN   uint32
+	WRID  uint64
+	Op    Opcode
+	Bytes int
+	// Imm carries the immediate data of the Send that produced a receive
+	// completion, when HasImm is set.
+	Imm    uint32
+	HasImm bool
+	// SrcNode and SrcQPN identify the sender for receive completions (on UD
+	// they come from the datagram's address header).
+	SrcNode int
+	SrcQPN  uint32
+}
+
+// CQ is a completion queue.
+type CQ struct {
+	dev     *Device
+	cap     int
+	entries []CQE
+	cond    *sim.Cond
+}
+
+// CreateCQ returns a completion queue that can hold at most capacity
+// entries; overflowing it panics, as a CQ overrun is a protocol bug.
+func (d *Device) CreateCQ(capacity int) *CQ {
+	return &CQ{
+		dev:  d,
+		cap:  capacity,
+		cond: d.net.Sim.NewCond(fmt.Sprintf("cq@%d", d.node)),
+	}
+}
+
+func (cq *CQ) push(e CQE) {
+	if len(cq.entries) >= cq.cap {
+		panic(fmt.Sprintf("verbs: CQ overrun on node %d (cap %d)", cq.dev.node, cq.cap))
+	}
+	cq.entries = append(cq.entries, e)
+	cq.cond.Broadcast()
+}
+
+// Poll retrieves up to len(dst) completions without blocking, charging one
+// poll cost. It returns the number of entries written.
+func (cq *CQ) Poll(p *sim.Proc, dst []CQE) int {
+	p.Sleep(cq.dev.prof().PollCost)
+	cq.dev.stats.Polls++
+	n := copy(dst, cq.entries)
+	cq.entries = cq.entries[n:]
+	if len(cq.entries) == 0 {
+		cq.entries = nil
+	}
+	return n
+}
+
+// WaitPoll blocks until at least one completion is available, then behaves
+// like Poll. Blocking models a spin-poll loop whose idle iterations are not
+// charged (the paper reports receive-side threads up to 90% idle).
+func (cq *CQ) WaitPoll(p *sim.Proc, dst []CQE) int {
+	for len(cq.entries) == 0 {
+		cq.cond.Wait(p)
+	}
+	return cq.Poll(p, dst)
+}
+
+// WaitPollTimeout is WaitPoll with a deadline; it returns 0 on timeout.
+func (cq *CQ) WaitPollTimeout(p *sim.Proc, dst []CQE, timeout sim.Duration) int {
+	if len(cq.entries) == 0 {
+		if !cq.cond.WaitTimeout(p, timeout) && len(cq.entries) == 0 {
+			return 0
+		}
+	}
+	for len(cq.entries) == 0 {
+		// A spurious wake; keep waiting within a fresh timeout window.
+		if !cq.cond.WaitTimeout(p, timeout) && len(cq.entries) == 0 {
+			return 0
+		}
+	}
+	return cq.Poll(p, dst)
+}
+
+// WaitNonEmpty blocks p until the CQ holds at least one completion or the
+// timeout elapses, without consuming anything. It returns false on timeout.
+// Use it in loops that must also observe conditions other than the CQ.
+func (cq *CQ) WaitNonEmpty(p *sim.Proc, timeout sim.Duration) bool {
+	if len(cq.entries) > 0 {
+		return true
+	}
+	if timeout <= 0 {
+		cq.cond.Wait(p)
+		return true
+	}
+	return cq.cond.WaitTimeout(p, timeout)
+}
+
+// Kick wakes every Proc blocked on this CQ without delivering anything.
+// Protocol layers use it when an end-of-stream predicate flips so waiters
+// re-check immediately instead of after their wait quantum.
+func (cq *CQ) Kick() { cq.cond.Broadcast() }
+
+// Len returns the number of queued completions.
+func (cq *CQ) Len() int { return len(cq.entries) }
+
+// PutUint64 and ReadUint64 are helpers for protocols that poll plain
+// memory words updated by remote writes (credit counters, circular-queue
+// slots).
+func PutUint64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+func ReadUint64(b []byte) uint64   { return binary.LittleEndian.Uint64(b) }
+func PutUint32(b []byte, v uint32) { binary.LittleEndian.PutUint32(b, v) }
+func ReadUint32(b []byte) uint32   { return binary.LittleEndian.Uint32(b) }

@@ -1,0 +1,78 @@
+package rshuffle_test
+
+import (
+	"testing"
+
+	"rshuffle"
+)
+
+// TestPublicAPIQuickstart exercises the facade end to end the way the
+// quickstart example does.
+func TestPublicAPIQuickstart(t *testing.T) {
+	prof := rshuffle.EDR()
+	prof.UDReorderProb = 0
+	c := rshuffle.NewCluster(prof, 4, 0, 1)
+	cfg := rshuffle.Config{Impl: rshuffle.SQSR, Endpoints: c.Threads}
+	res, err := c.RunBench(rshuffle.BenchOpts{
+		Factory:     rshuffle.RDMA(cfg),
+		RowsPerNode: 200_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	var rows int64
+	for _, r := range res.RowsPerNode {
+		rows += r
+	}
+	if rows != 4*200_000 {
+		t.Fatalf("rows = %d", rows)
+	}
+	if res.GiBps() <= 0 {
+		t.Fatal("no throughput measured")
+	}
+}
+
+func TestPublicAPIAlgorithms(t *testing.T) {
+	if len(rshuffle.Algorithms) != 6 {
+		t.Fatalf("expected the paper's six designs, got %d", len(rshuffle.Algorithms))
+	}
+	names := map[string]bool{}
+	for _, a := range rshuffle.Algorithms {
+		names[a.Name] = true
+	}
+	for _, want := range []string{"MESQ/SR", "SESQ/SR", "MEMQ/SR", "SEMQ/SR", "MEMQ/RD", "SEMQ/RD"} {
+		if !names[want] {
+			t.Fatalf("missing algorithm %s", want)
+		}
+	}
+}
+
+func TestPublicAPIGroups(t *testing.T) {
+	if g := rshuffle.Repartition(4); len(g) != 4 {
+		t.Fatalf("Repartition(4) = %v", g)
+	}
+	if g := rshuffle.Broadcast(4); len(g) != 1 || len(g[0]) != 4 {
+		t.Fatalf("Broadcast(4) = %v", g)
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	prof := rshuffle.EDR()
+	prof.UDReorderProb = 0
+	for _, f := range []struct {
+		name    string
+		factory rshuffle.ProviderFactory
+	}{{"mpi", rshuffle.MPI()}, {"ipoib", rshuffle.IPoIB()}} {
+		c := rshuffle.NewCluster(prof, 2, 4, 1)
+		res, err := c.RunBench(rshuffle.BenchOpts{
+			Factory:     f.factory,
+			RowsPerNode: 50_000,
+		})
+		if err != nil || res.Err != nil {
+			t.Fatalf("%s: %v %v", f.name, err, res.Err)
+		}
+	}
+}

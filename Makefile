@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: build test test-full vet race fmt
+
+build:
+	$(GO) build ./...
+
+# Fast suite: unit + protocol tests, multi-second experiment sweeps skipped.
+test:
+	$(GO) test -short ./...
+
+# Full suite, including the experiment reproductions (several minutes).
+test-full:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -short ./...
+
+fmt:
+	gofmt -l -w .

@@ -1,0 +1,156 @@
+// Chaos harness: deterministic fault-injection runs across the shuffle
+// algorithms. Every scenario is a FaultPlan schedule evaluated against the
+// simulation clock, so a (profile, algorithm, fault, seed) tuple always
+// yields the same outcome — either a clean recovery through the
+// RecoveryPolicy or a clean, diagnosable terminal error, never a panic or
+// an undetected deadlock.
+package cluster
+
+import (
+	"errors"
+	"time"
+
+	"rshuffle/internal/fabric"
+	"rshuffle/internal/shuffle"
+	"rshuffle/internal/sim"
+)
+
+// ChaosFault is one fault-injection scenario: Install arms the fault plan
+// of a freshly booted cluster for the given attempt. Transient faults arm
+// only attempt 0 — by the time the query restarts the fault has cleared —
+// while persistent-but-survivable faults (degraded links, stragglers,
+// CRC-caught corruption) arm every attempt.
+type ChaosFault struct {
+	Name    string
+	Install func(c *Cluster, attempt int)
+}
+
+// ChaosFaults returns the standard fault matrix of the chaos harness. The
+// victim links involve node 1 (or node 0 for the straggler pause) so every
+// scenario hits both a sending and a receiving fragment.
+func ChaosFaults() []ChaosFault {
+	return []ChaosFault{
+		// Deterministically swallow a few datagrams into node 1: the UD
+		// designs detect the count mismatch (§4.4.2) and restart; the RC
+		// designs carry no UD traffic and pass untouched.
+		{"ud-loss", func(c *Cluster, attempt int) {
+			if attempt > 0 {
+				return
+			}
+			c.Net.Faults().Add(fabric.FaultRule{
+				Class: fabric.FaultUDLoss, From: fabric.AnyNode, To: 1, Count: 3,
+			})
+		}},
+		// Kill every RC packet into node 1 for the whole first attempt: the
+		// sender NICs retransmit until retry_cnt is exhausted, the Queue
+		// Pairs enter the Error state, and the fragments fail over to a
+		// restart. UD traffic is unaffected.
+		{"rc-outage", func(c *Cluster, attempt int) {
+			if attempt > 0 {
+				return
+			}
+			c.Net.Faults().Add(fabric.FaultRule{
+				Class: fabric.FaultRCLoss, From: fabric.AnyNode, To: 1, Rate: 1,
+			})
+		}},
+		// Quarter the bandwidth of every link into node 1 for the whole
+		// run: the query must still complete, only slower.
+		{"degrade", func(c *Cluster, attempt int) {
+			c.Net.Faults().Add(fabric.FaultRule{
+				Class: fabric.FaultDegrade, From: fabric.AnyNode, To: 1, Factor: 0.25,
+			})
+		}},
+		// Freeze node 0's NIC for 300us out of every 2ms — a GC-like
+		// straggler. Lossless, so the query completes without restarts.
+		{"pause", func(c *Cluster, attempt int) {
+			c.Net.Faults().Add(fabric.FaultRule{
+				Class: fabric.FaultPause, From: fabric.AnyNode, To: 0,
+				Period: 2 * time.Millisecond, OnFor: 300 * time.Microsecond,
+			})
+		}},
+		// Flap the link into node 1 during the first 3ms of attempt 0: RC
+		// packets sent inside a 120us outage burst are lost and retried
+		// 400us later, outside the burst, so the NIC-level recovery usually
+		// absorbs the fault without erroring the QP.
+		{"flap", func(c *Cluster, attempt int) {
+			if attempt > 0 {
+				return
+			}
+			c.Net.Faults().Add(fabric.FaultRule{
+				Class: fabric.FaultRCLoss, From: fabric.AnyNode, To: 1, Rate: 1,
+				End:    sim.Time(3 * time.Millisecond),
+				Period: time.Millisecond, OnFor: 120 * time.Microsecond,
+			})
+		}},
+		// Corrupt one packet of the next five RC messages into node 1: the
+		// link-level CRC catches each one and the retransmit costs a packet
+		// serialization plus a round trip — invisible above the fabric.
+		{"corrupt", func(c *Cluster, attempt int) {
+			c.Net.Faults().Add(fabric.FaultRule{
+				Class: fabric.FaultCorrupt, From: fabric.AnyNode, To: 1, Count: 5,
+			})
+		}},
+	}
+}
+
+// ChaosOpts configures one chaos run.
+type ChaosOpts struct {
+	Prof           fabric.Profile
+	Nodes, Threads int
+	RowsPerNode    int
+	Seed           int64
+	Policy         RecoveryPolicy
+}
+
+// ChaosOutcome is the deterministic summary of one chaos run: with equal
+// ChaosOpts and fault, two runs produce identical outcomes.
+type ChaosOutcome struct {
+	Alg, Fault string
+	// Restarts is the number of query restarts the recovery policy ran.
+	Restarts int
+	// Failed and Err report a terminal failure after recovery gave up; Err
+	// is the diagnosable error text, empty on success.
+	Failed bool
+	Err    string
+	// Rows is the cluster-wide row count delivered by the final attempt.
+	Rows int64
+	// Elapsed is the final attempt's response time; TotalVirtual sums every
+	// attempt and backoff.
+	Elapsed      sim.Duration
+	TotalVirtual sim.Duration
+}
+
+// RunChaos runs one algorithm under one fault scenario with the given
+// recovery policy. The returned error is non-nil only for harness-level
+// failures (a simulation deadlock) — a query that exhausts its restart
+// budget is reported through ChaosOutcome.Failed, not the error.
+func RunChaos(alg shuffle.Algorithm, fault ChaosFault, o ChaosOpts) (ChaosOutcome, error) {
+	cfg := alg.Config(o.Threads)
+	// Tight timeouts keep failed attempts short in virtual time: a dead
+	// connection is declared after ~tens of milliseconds instead of the
+	// interactive-scale defaults.
+	cfg.DepletedTimeout = 10 * time.Millisecond
+	cfg.StallTimeout = 120 * time.Millisecond
+	mk := func(attempt int) *Cluster {
+		c := New(o.Prof, o.Nodes, o.Threads, o.Seed)
+		fault.Install(c, attempt)
+		return c
+	}
+	out := ChaosOutcome{Alg: alg.Name, Fault: fault.Name}
+	r, err := o.Policy.Run(mk, BenchOpts{Factory: RDMAProvider(cfg), RowsPerNode: o.RowsPerNode})
+	if err != nil && !errors.Is(err, ErrRecoveryExhausted) {
+		return out, err
+	}
+	out.Restarts = r.Restarts
+	out.TotalVirtual = r.TotalVirtual
+	if r.BenchResult != nil {
+		out.Elapsed = r.Elapsed
+		for _, n := range r.RowsPerNode {
+			out.Rows += n
+		}
+	}
+	if err != nil {
+		out.Failed, out.Err = true, err.Error()
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"rshuffle/internal/fabric"
+	"rshuffle/internal/shuffle"
+)
+
+func chaosOpts() ChaosOpts {
+	return ChaosOpts{
+		Prof: fabric.FDR(), Nodes: 3, Threads: 2,
+		RowsPerNode: 8192, Seed: 11,
+		Policy: RecoveryPolicy{
+			MaxRestarts: 2,
+			BaseBackoff: 500 * time.Microsecond,
+			MaxBackoff:  2 * time.Millisecond,
+		},
+	}
+}
+
+// TestChaosMatrix runs every algorithm of Table 1 under every fault class
+// twice with the same seed, asserting (a) no simulation failure, (b) the
+// recovery policy ends in success with every row delivered, (c) bitwise
+// identical outcomes — the schedule is deterministic — and (d) the faults
+// that must force a query restart actually do.
+func TestChaosMatrix(t *testing.T) {
+	opts := chaosOpts()
+	want := int64(opts.Nodes) * int64(opts.RowsPerNode)
+	for _, alg := range shuffle.Algorithms {
+		for _, f := range ChaosFaults() {
+			alg, f := alg, f
+			t.Run(alg.Name+"/"+f.Name, func(t *testing.T) {
+				o1, err := RunChaos(alg, f, opts)
+				if err != nil {
+					t.Fatalf("simulation failed: %v", err)
+				}
+				o2, err := RunChaos(alg, f, opts)
+				if err != nil {
+					t.Fatalf("simulation failed on repeat: %v", err)
+				}
+				if o1 != o2 {
+					t.Fatalf("nondeterministic outcome:\n  %+v\n  %+v", o1, o2)
+				}
+				if o1.Failed {
+					t.Fatalf("recovery did not converge: %s", o1.Err)
+				}
+				if o1.Rows != want {
+					t.Fatalf("rows = %d, want %d (restarts %d)", o1.Rows, want, o1.Restarts)
+				}
+				udAlg := alg.Impl == shuffle.SQSR
+				if f.Name == "ud-loss" && udAlg && o1.Restarts == 0 {
+					t.Fatalf("UD datagram loss should force a restart of %s", alg.Name)
+				}
+				if f.Name == "rc-outage" && !udAlg && o1.Restarts == 0 {
+					t.Fatalf("RC outage should force a restart of %s", alg.Name)
+				}
+				if (f.Name == "degrade" || f.Name == "pause" || f.Name == "corrupt") && o1.Restarts != 0 {
+					t.Fatalf("survivable fault %s restarted %s %d time(s): %+v",
+						f.Name, alg.Name, o1.Restarts, o1)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosPersistentFaultGivesUp arms the same fault on every attempt: the
+// recovery policy must exhaust its restart budget and report a clean,
+// diagnosable terminal error instead of hanging or panicking.
+func TestChaosPersistentFaultGivesUp(t *testing.T) {
+	persistent := ChaosFault{Name: "persistent-ud-loss", Install: func(c *Cluster, attempt int) {
+		c.Net.Faults().Add(fabric.FaultRule{
+			Class: fabric.FaultUDLoss, From: fabric.AnyNode, To: 1, Count: 3,
+		})
+	}}
+	opts := chaosOpts()
+	o, err := RunChaos(shuffle.Algorithm{Name: "MESQ/SR", Impl: shuffle.SQSR, ME: true}, persistent, opts)
+	if err != nil {
+		t.Fatalf("simulation failed: %v", err)
+	}
+	if !o.Failed {
+		t.Fatalf("persistent fault should exhaust recovery: %+v", o)
+	}
+	if o.Restarts != opts.Policy.MaxRestarts {
+		t.Fatalf("restarts = %d, want %d", o.Restarts, opts.Policy.MaxRestarts)
+	}
+	if !strings.Contains(o.Err, "recovery exhausted") {
+		t.Fatalf("terminal error not diagnosable: %q", o.Err)
+	}
+}
+
+// TestRecoveryPolicyDeadline bounds the total virtual time: with a deadline
+// shorter than one attempt, a failing query gets no restart at all.
+func TestRecoveryPolicyDeadline(t *testing.T) {
+	mk := func(attempt int) *Cluster {
+		c := New(quiet(fabric.EDR()), 2, 4, 7)
+		c.Sim.After(1, func() { c.Net.InjectUDLoss(1, 2) })
+		return c
+	}
+	pol := RecoveryPolicy{MaxRestarts: 5, Deadline: 1} // 1ns: spent by any attempt
+	r, err := pol.Run(mk, BenchOpts{
+		Factory:     RDMAProvider(shuffle.Config{Impl: shuffle.SQSR, Endpoints: 4, DepletedTimeout: 5 * time.Millisecond}),
+		RowsPerNode: 20_000,
+	})
+	if !errors.Is(err, ErrRecoveryExhausted) {
+		t.Fatalf("err = %v, want ErrRecoveryExhausted", err)
+	}
+	if len(r.Attempts) != 1 || r.Restarts != 0 {
+		t.Fatalf("attempts = %d restarts = %d, want 1 and 0", len(r.Attempts), r.Restarts)
+	}
+	if r.Attempts[0].Err == nil || r.TotalVirtual < r.Attempts[0].Elapsed {
+		t.Fatalf("attempt bookkeeping wrong: %+v", r.Attempts[0])
+	}
+}
+
+// TestRecoveryPolicyBackoff pins the exponential backoff schedule.
+func TestRecoveryPolicyBackoff(t *testing.T) {
+	pol := RecoveryPolicy{BaseBackoff: time.Millisecond, MaxBackoff: 4 * time.Millisecond}
+	want := []time.Duration{1, 2, 4, 4, 4}
+	for i, w := range want {
+		if got := pol.backoff(i); got != w*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	if none := (RecoveryPolicy{}).backoff(3); none != 0 {
+		t.Fatalf("zero policy backoff = %v, want 0", none)
+	}
+}
+
+// TestRecoveryPolicyRecordsAttempts checks the per-restart metrics: one
+// failed attempt with a backoff before the successful retry.
+func TestRecoveryPolicyRecordsAttempts(t *testing.T) {
+	mk := func(attempt int) *Cluster {
+		c := New(quiet(fabric.EDR()), 2, 4, 7)
+		if attempt == 0 {
+			c.Sim.After(1, func() { c.Net.InjectUDLoss(1, 2) })
+		}
+		return c
+	}
+	pol := RecoveryPolicy{MaxRestarts: 3, BaseBackoff: time.Millisecond}
+	r, err := pol.Run(mk, BenchOpts{
+		Factory:     RDMAProvider(shuffle.Config{Impl: shuffle.SQSR, Endpoints: 4, DepletedTimeout: 5 * time.Millisecond}),
+		RowsPerNode: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Restarts != 1 || len(r.Attempts) != 2 {
+		t.Fatalf("restarts = %d attempts = %d, want 1 and 2", r.Restarts, len(r.Attempts))
+	}
+	if !errors.Is(r.Attempts[0].Err, shuffle.ErrDataLoss) {
+		t.Fatalf("first attempt error = %v, want data loss", r.Attempts[0].Err)
+	}
+	if r.Attempts[1].Err != nil || r.Attempts[1].Backoff != time.Millisecond {
+		t.Fatalf("second attempt = %+v, want success after 1ms backoff", r.Attempts[1])
+	}
+	if wantTotal := r.Attempts[0].Elapsed + r.Attempts[1].Elapsed + time.Millisecond; r.TotalVirtual != wantTotal {
+		t.Fatalf("TotalVirtual = %v, want %v", r.TotalVirtual, wantTotal)
+	}
+}

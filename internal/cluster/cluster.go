@@ -181,26 +181,22 @@ func (r *BenchResult) ThroughputPerNode() float64 {
 func (r *BenchResult) GiBps() float64 { return r.ThroughputPerNode() / (1 << 30) }
 
 // RunBenchWithRestart runs the workload like RunBench, but applies the
-// paper's recovery policy for the Unreliable Datagram service: a message
-// count mismatch after the timeout is treated as a network error and the
-// query restarts from scratch (on a fresh cluster, since a Simulation is
-// single-use). It returns the final successful result and the number of
-// restarts; attempts are capped at maxRestarts.
+// paper's recovery policy: any transport error — UD message-count mismatch
+// (§4.4.2), retry exhaustion erroring a Queue Pair, an endpoint stall — is
+// treated as a query failure and the query restarts from scratch (on a
+// fresh cluster, since a Simulation is single-use). It returns the final
+// result and the number of restarts; attempts are capped at maxRestarts.
+// It is a thin wrapper over RecoveryPolicy.Run.
 func RunBenchWithRestart(mk func() *Cluster, opts BenchOpts, maxRestarts int) (*BenchResult, int, error) {
-	restarts := 0
-	for {
-		res, err := mk().RunBench(opts)
-		if err != nil {
-			return nil, restarts, err
+	pol := RecoveryPolicy{MaxRestarts: maxRestarts}
+	r, err := pol.Run(func(int) *Cluster { return mk() }, opts)
+	if err != nil {
+		if errors.Is(err, ErrRecoveryExhausted) {
+			return r.BenchResult, r.Restarts, r.BenchResult.Err
 		}
-		if res.Err == nil {
-			return res, restarts, nil
-		}
-		if !errors.Is(res.Err, shuffle.ErrDataLoss) || restarts >= maxRestarts {
-			return res, restarts, res.Err
-		}
-		restarts++
+		return nil, r.Restarts, err
 	}
+	return r.BenchResult, r.Restarts, nil
 }
 
 // RunBench executes the synthetic receive-throughput query to completion

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+
+	"rshuffle/internal/sim"
+)
+
+// ErrRecoveryExhausted means a query kept failing until its RecoveryPolicy
+// gave up (restart budget or deadline spent). The last attempt's transport
+// error is wrapped for diagnosis.
+var ErrRecoveryExhausted = errors.New("cluster: recovery exhausted")
+
+// RecoveryPolicy governs how the harness reacts to a failed query fragment.
+// Any transport error — UD data loss (§4.4.2), RNR or transport retry
+// exhaustion erroring a Queue Pair, an endpoint stall — aborts the attempt,
+// and the query restarts from scratch on a fresh cluster after an
+// exponential virtual-time backoff, up to MaxRestarts times. Simulation
+// failures (a genuine deadlock) are not recoverable and surface directly.
+type RecoveryPolicy struct {
+	// MaxRestarts bounds how many restarts follow the initial attempt.
+	MaxRestarts int
+	// BaseBackoff is the virtual-time delay charged before the first
+	// restart; every further restart doubles it. Zero disables backoff.
+	BaseBackoff sim.Duration
+	// MaxBackoff caps the doubling; zero leaves it uncapped.
+	MaxBackoff sim.Duration
+	// Deadline bounds the total virtual time spent across attempts and
+	// backoffs: once exceeded, no further restart is scheduled. Zero means
+	// no deadline.
+	Deadline sim.Duration
+}
+
+// Attempt records one try of the query under a RecoveryPolicy.
+type Attempt struct {
+	// Backoff is the virtual-time delay charged before this attempt.
+	Backoff sim.Duration
+	// Elapsed is the attempt's query response time.
+	Elapsed sim.Duration
+	// Err is the attempt's transport error; nil for a successful attempt.
+	Err error
+}
+
+// RecoveryResult reports a query run under a RecoveryPolicy.
+type RecoveryResult struct {
+	// BenchResult holds the final attempt's metrics (successful or not).
+	*BenchResult
+	// Restarts is the number of restarts performed.
+	Restarts int
+	// Attempts lists every attempt in order, including the failures.
+	Attempts []Attempt
+	// TotalVirtual is the virtual time spent across all attempts and
+	// backoffs. Each attempt runs on its own single-use Simulation, so this
+	// is the accounting sum, not one clock reading.
+	TotalVirtual sim.Duration
+}
+
+// backoff returns the delay before restart number restart (0-based).
+func (pol RecoveryPolicy) backoff(restart int) sim.Duration {
+	if pol.BaseBackoff <= 0 {
+		return 0
+	}
+	if restart > 32 {
+		restart = 32 // avoid shift overflow; long past any real cap
+	}
+	b := pol.BaseBackoff << uint(restart)
+	if pol.MaxBackoff > 0 && b > pol.MaxBackoff {
+		b = pol.MaxBackoff
+	}
+	return b
+}
+
+// Run executes the workload under the policy. mk builds a fresh cluster for
+// the given attempt number (a Simulation is single-use, so every attempt
+// needs its own); fault-injection harnesses use the attempt number to model
+// transient versus persistent faults. The returned error is nil on eventual
+// success, wraps ErrRecoveryExhausted when the policy gives up, and is the
+// raw simulation error (with a partial result) when a run fails outright.
+func (pol RecoveryPolicy) Run(mk func(attempt int) *Cluster, opts BenchOpts) (*RecoveryResult, error) {
+	r := &RecoveryResult{}
+	for attempt := 0; ; attempt++ {
+		var backoff sim.Duration
+		if attempt > 0 {
+			backoff = pol.backoff(attempt - 1)
+			r.TotalVirtual += backoff
+		}
+		res, err := mk(attempt).RunBench(opts)
+		if err != nil {
+			// The simulation itself failed (e.g. an undetected protocol
+			// deadlock). Restarting cannot help; report it as terminal.
+			r.Restarts = len(r.Attempts)
+			return r, err
+		}
+		r.BenchResult = res
+		r.TotalVirtual += res.Elapsed
+		r.Attempts = append(r.Attempts, Attempt{Backoff: backoff, Elapsed: res.Elapsed, Err: res.Err})
+		r.Restarts = attempt
+		if res.Err == nil {
+			return r, nil
+		}
+		if attempt >= pol.MaxRestarts {
+			return r, fmt.Errorf("%w after %d attempt(s): %v",
+				ErrRecoveryExhausted, attempt+1, res.Err)
+		}
+		if pol.Deadline > 0 && r.TotalVirtual >= pol.Deadline {
+			return r, fmt.Errorf("%w: deadline %v spent after %d attempt(s): %v",
+				ErrRecoveryExhausted, pol.Deadline, attempt+1, res.Err)
+		}
+	}
+}

@@ -21,6 +21,9 @@ func val(t *Table, rowName string, col int) float64 {
 }
 
 func TestTable1QPCensus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
 	tb, err := Table1(fast)
 	if err != nil {
 		t.Fatal(err)
@@ -37,6 +40,9 @@ func TestTable1QPCensus(t *testing.T) {
 }
 
 func TestFig12Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
 	tb, err := Fig12(fast)
 	if err != nil {
 		t.Fatal(err)
@@ -215,8 +221,16 @@ func TestExtMulticastSavesWQEs(t *testing.T) {
 	last := len(tb.Cols) - 1
 	sw := val(tb, "MESQ/SR txmsgs", last)
 	hw := val(tb, "MESQ/SR+mcast txmsgs", last)
-	if hw > sw/3 {
-		t.Fatalf("multicast should slash tx messages: hw=%.0f sw=%.0f", hw, sw)
+	// Multicast collapses the n per-destination data datagrams of a broadcast
+	// batch into one, but the per-receiver credit datagrams remain: with n=16
+	// and one credit return per two batches the floor is
+	// (1 + n/2) / (n + n/2) = 0.375 of the software count, and the totals /
+	// Finish datagrams (sent per peer either way) push the observed ratio to
+	// ~0.39. Assert hw <= 0.42*sw to leave headroom over that floor while
+	// still requiring the ~n-fold collapse of the data leg.
+	if hw*100 > sw*42 {
+		t.Fatalf("multicast should slash tx messages: hw=%.0f sw=%.0f (ratio %.3f > 0.42)",
+			hw, sw, hw/sw)
 	}
 	if val(tb, "MESQ/SR+mcast", last) < 0.9*val(tb, "MESQ/SR", last) {
 		t.Fatalf("multicast throughput regressed: %.2f vs %.2f",

@@ -40,7 +40,12 @@ type NICStats struct {
 	TxWireBytes                int64
 	QPCacheHits, QPCacheMisses int64
 	UDDropped                  int64
-	ReadRequests               int64
+	// RCDropped counts injected Reliable Connection losses surfaced to the
+	// verbs layer (which retries them at the transport level).
+	RCDropped int64
+	// RCRetransmits counts packets re-sent after an injected corruption.
+	RCRetransmits int64
+	ReadRequests  int64
 }
 
 // nic models one host adapter: an uplink serializer, a downlink serializer,
@@ -79,8 +84,8 @@ type Network struct {
 	// by the layer above so its delivery callbacks can dispatch.
 	hosts []any
 
-	// injectUDLoss holds per-destination forced-drop budgets for tests.
-	injectUDLoss map[int]int
+	// faults is the installed fault schedule; empty by default.
+	faults FaultPlan
 }
 
 // SetHost attaches an opaque host context to node i.
@@ -101,7 +106,8 @@ func (n *Network) Host(i int) any {
 
 // New builds a network of n hosts over the given profile.
 func New(s *sim.Simulation, prof Profile, n int) *Network {
-	net := &Network{Sim: s, Prof: prof, nics: make([]*nic, n), injectUDLoss: map[int]int{}}
+	net := &Network{Sim: s, Prof: prof, nics: make([]*nic, n)}
+	net.faults.rng = s.Rand()
 	for i := range net.nics {
 		net.nics[i] = &nic{id: i, cache: newQPCache(prof.QPCacheSize, s.Rand()),
 			txOrder: make(map[uint64]sim.Time), rxOrder: make(map[uint64]sim.Time)}
@@ -115,9 +121,15 @@ func (n *Network) Nodes() int { return len(n.nics) }
 // Stats returns a copy of node i's NIC counters.
 func (n *Network) Stats(i int) NICStats { return n.nics[i].stats }
 
+// Faults exposes the network's fault schedule for installing rules.
+func (n *Network) Faults() *FaultPlan { return &n.faults }
+
 // InjectUDLoss forces the next k UD messages destined to node to be dropped,
-// for fault-injection tests.
-func (n *Network) InjectUDLoss(node, k int) { n.injectUDLoss[node] += k }
+// for fault-injection tests. It is a convenience wrapper over a
+// deterministic count rule in the fault plan (no RNG draws).
+func (n *Network) InjectUDLoss(node, k int) {
+	n.faults.Add(FaultRule{Class: FaultUDLoss, From: AnyNode, To: node, Count: k})
+}
 
 // touch charges the QP-cache cost of accessing qp state on nc and returns
 // the penalty to add to the engine occupancy.
@@ -149,15 +161,22 @@ func (n *Network) Transmit(m *Message) {
 	control := wire <= ControlThreshold
 
 	now := n.Sim.Now()
+	bw := prof.LinkBandwidth
+	if !n.faults.Empty() {
+		// A paused NIC freezes its engines: nothing starts serializing until
+		// the pause window closes.
+		now = n.faults.pausedUntil(m.From, now)
+		bw *= n.faults.degradeFactor(m.From, m.To, now)
+	}
 	// Source NIC: WQE fetch + QP state + serialization onto the uplink.
-	txOcc := prof.WQEProcessing + src.touch(m.FromQP, prof) + Serialize(wire, prof.LinkBandwidth)
+	txOcc := prof.WQEProcessing + src.touch(m.FromQP, prof) + Serialize(wire, bw)
 	var txDone sim.Time
 	if control {
 		// NICs arbitrate Queue Pairs round-robin at packet granularity, so a
 		// tiny control message (credit write, read request) departs within
 		// about one bulk-packet time even when bulk transfers have a deep
 		// backlog; its bandwidth is still stolen from the bulk lane.
-		txDone = now.Add(Serialize(prof.MTU, prof.LinkBandwidth) + txOcc)
+		txDone = now.Add(Serialize(prof.MTU, bw) + txOcc)
 		src.txBusy = src.txBusy.Add(txOcc)
 		if src.txBusy < now {
 			src.txBusy = now
@@ -182,14 +201,22 @@ func (n *Network) Transmit(m *Message) {
 
 	// Loss and reordering decisions are made now so the whole computation
 	// stays a pure function of the RNG stream (deterministic).
-	lost := false
-	if m.Service == UD {
-		if n.injectUDLoss[m.To] > 0 {
-			n.injectUDLoss[m.To]--
-			lost = true
-		} else if prof.UDLossRate > 0 && n.Sim.Rand().Float64() < prof.UDLossRate {
-			lost = true
+	lost, corrupted := false, false
+	if !n.faults.Empty() {
+		switch {
+		case m.Service == UD:
+			lost = n.faults.drop(FaultUDLoss, m.From, m.To, now)
+		case m.Dropped != nil:
+			// RC messages without a Dropped handler are infrastructure
+			// transfers the verbs layer cannot retry; they pass unharmed.
+			lost = n.faults.drop(FaultRCLoss, m.From, m.To, now)
 		}
+		if !lost && m.Service == RC {
+			corrupted = n.faults.drop(FaultCorrupt, m.From, m.To, now)
+		}
+	}
+	if !lost && m.Service == UD && prof.UDLossRate > 0 && n.Sim.Rand().Float64() < prof.UDLossRate {
+		lost = true
 	}
 	var jitter sim.Duration
 	if m.Service == UD && prof.UDReorderProb > 0 && n.Sim.Rand().Float64() < prof.UDReorderProb {
@@ -202,18 +229,25 @@ func (n *Network) Transmit(m *Message) {
 	arrive := txDone.Add(prof.SwitchDelay + prof.PropagationDelay)
 	n.Sim.At(arrive, func() {
 		if lost {
-			dst.stats.UDDropped++
+			if m.Service == UD {
+				dst.stats.UDDropped++
+			} else {
+				dst.stats.RCDropped++
+			}
 			if m.Dropped != nil {
 				m.Dropped()
 			}
 			return
 		}
-		rxOcc := dst.touch(m.ToQP, prof) + Serialize(wire, prof.LinkBandwidth)
+		rxOcc := dst.touch(m.ToQP, prof) + Serialize(wire, bw)
 		rnow := n.Sim.Now()
+		if !n.faults.Empty() {
+			rnow = n.faults.pausedUntil(m.To, rnow)
+		}
 		var rxDone sim.Time
 		if control {
 			// Same packet-granularity arbitration on the switch egress port.
-			rxDone = rnow.Add(Serialize(prof.MTU, prof.LinkBandwidth) + rxOcc)
+			rxDone = rnow.Add(Serialize(prof.MTU, bw) + rxOcc)
 			dst.rxBusy = dst.rxBusy.Add(rxOcc)
 			if dst.rxBusy < rnow {
 				dst.rxBusy = rnow
@@ -225,6 +259,16 @@ func (n *Network) Transmit(m *Message) {
 			}
 			rxDone = rstart.Add(rxOcc)
 			dst.rxBusy = rxDone
+		}
+		if corrupted {
+			// One packet failed its CRC: the receiver NAKs, the sender
+			// re-serializes that packet after a round trip.
+			pkt := wire
+			if lim := prof.MTU + prof.HeaderRC; pkt > lim {
+				pkt = lim
+			}
+			rxDone = rxDone.Add(Serialize(pkt, bw) + 2*prof.PropagationDelay + prof.SwitchDelay)
+			dst.stats.RCRetransmits++
 		}
 		if m.Service == RC {
 			rxDone = orderFloor(dst.rxOrder, m.ToQP, rxDone)
@@ -252,6 +296,9 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 	wire := prof.WireBytes(m.Payload, UD)
 
 	now := n.Sim.Now()
+	if !n.faults.Empty() {
+		now = n.faults.pausedUntil(m.From, now)
+	}
 	txOcc := prof.WQEProcessing + src.touch(m.FromQP, prof) + Serialize(wire, prof.LinkBandwidth)
 	start := now
 	if src.txBusy > start {
@@ -274,8 +321,7 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 			continue
 		}
 		lost := false
-		if n.injectUDLoss[d] > 0 {
-			n.injectUDLoss[d]--
+		if !n.faults.Empty() && n.faults.drop(FaultUDLoss, m.From, d, now) {
 			lost = true
 		} else if prof.UDLossRate > 0 && n.Sim.Rand().Float64() < prof.UDLossRate {
 			lost = true

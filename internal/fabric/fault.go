@@ -1,0 +1,235 @@
+package fabric
+
+import (
+	"math/rand"
+
+	"rshuffle/internal/sim"
+)
+
+// AnyNode is the wildcard endpoint for fault rules: a rule with From or To
+// set to AnyNode matches traffic from or to every node.
+const AnyNode = -1
+
+// FaultClass names one kind of injected fault.
+type FaultClass int
+
+const (
+	// FaultUDLoss silently drops matching Unreliable Datagram packets, as a
+	// lossy wire or an overrun receive queue would.
+	FaultUDLoss FaultClass = iota
+	// FaultRCLoss drops matching Reliable Connection packets. The verbs
+	// layer sees the loss through the message's Dropped callback and is
+	// responsible for transport-level retry; messages without a Dropped
+	// handler are infrastructure transfers and pass through unharmed.
+	FaultRCLoss
+	// FaultCorrupt flips bits in one packet of a matching RC message: the
+	// link-level CRC catches it and the packet is retransmitted, costing one
+	// extra packet serialization plus a round trip.
+	FaultCorrupt
+	// FaultDegrade scales the usable bandwidth of matching links by Factor
+	// (0 < Factor <= 1), modelling congestion or a renegotiated lane width.
+	FaultDegrade
+	// FaultPause freezes a node's NIC (rule field To names the node): no
+	// message may start serializing on its uplink or downlink during the
+	// pause window. Periodic pauses model stragglers and GC-like stalls.
+	FaultPause
+)
+
+func (c FaultClass) String() string {
+	switch c {
+	case FaultUDLoss:
+		return "ud-loss"
+	case FaultRCLoss:
+		return "rc-loss"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultDegrade:
+		return "degrade"
+	case FaultPause:
+		return "pause"
+	}
+	return "unknown"
+}
+
+// FaultRule is one entry of a FaultPlan: a fault class applied to a directed
+// link (From -> To, with AnyNode wildcards) over a time window.
+//
+// The window is [Start, End); End == 0 means open-ended. If Period > 0 the
+// rule additionally flaps: within each Period-long stretch after Start it is
+// active only for the first OnFor. If Period == 0 and OnFor > 0 the window
+// is the single stretch [Start, Start+OnFor).
+//
+// Rate and Count select how often an active rule fires. Count > 0 with
+// Rate == 0 fires deterministically on the next Count matching messages and
+// draws nothing from the RNG stream (this is what the old InjectUDLoss did).
+// 0 < Rate < 1 fires probabilistically; Rate >= 1 always fires. A Count
+// budget, when set alongside a Rate, caps the total number of firings.
+type FaultRule struct {
+	Class    FaultClass
+	From, To int
+	Start    sim.Time
+	End      sim.Time
+	Period   sim.Duration
+	OnFor    sim.Duration
+	Rate     float64
+	Count    int
+	// Factor is the bandwidth multiplier for FaultDegrade rules.
+	Factor float64
+
+	fired int
+}
+
+// windowOpen reports whether the rule's time window covers now.
+func (r *FaultRule) windowOpen(now sim.Time) bool {
+	if now < r.Start {
+		return false
+	}
+	if r.End != 0 && now >= r.End {
+		return false
+	}
+	since := now.Sub(r.Start)
+	if r.Period > 0 {
+		return since%r.Period < r.OnFor
+	}
+	if r.OnFor > 0 {
+		return since < r.OnFor
+	}
+	return true
+}
+
+// matches reports whether the rule covers the directed link (from, to) at
+// now, with budget remaining.
+func (r *FaultRule) matches(from, to int, now sim.Time) bool {
+	if r.From != AnyNode && r.From != from {
+		return false
+	}
+	if r.To != AnyNode && r.To != to {
+		return false
+	}
+	if r.Count > 0 && r.Rate > 0 && r.fired >= r.Count {
+		return false
+	}
+	return r.windowOpen(now)
+}
+
+// fire decides whether a matching rule actually triggers, consuming budget
+// and (only for probabilistic rules) one RNG draw.
+func (r *FaultRule) fire(rng *rand.Rand) bool {
+	if r.Rate == 0 {
+		// Deterministic count budget: no RNG draw, so installing such a rule
+		// never perturbs the random stream of the rest of the simulation.
+		if r.Count > 0 && r.fired < r.Count {
+			r.fired++
+			return true
+		}
+		return false
+	}
+	if r.Rate < 1 && rng.Float64() >= r.Rate {
+		return false
+	}
+	r.fired++
+	return true
+}
+
+// FaultPlan is a deterministic schedule of fault rules evaluated against the
+// simulation clock. The zero plan injects nothing and costs one branch per
+// transmission.
+type FaultPlan struct {
+	rules []*FaultRule
+	rng   *rand.Rand
+}
+
+// Add installs a rule and returns it (so tests can keep a handle).
+func (p *FaultPlan) Add(r FaultRule) *FaultRule {
+	if r.Class == FaultDegrade && (r.Factor <= 0 || r.Factor > 1) {
+		panic("fabric: FaultDegrade requires 0 < Factor <= 1")
+	}
+	rule := &r
+	p.rules = append(p.rules, rule)
+	return rule
+}
+
+// Clear removes every rule.
+func (p *FaultPlan) Clear() { p.rules = nil }
+
+// Empty reports whether the plan has no rules installed.
+func (p *FaultPlan) Empty() bool { return len(p.rules) == 0 }
+
+// Fired returns the total number of rule firings, for tests and reports.
+func (p *FaultPlan) Fired() int {
+	n := 0
+	for _, r := range p.rules {
+		n += r.fired
+	}
+	return n
+}
+
+// drop evaluates loss-like classes (FaultUDLoss, FaultRCLoss, FaultCorrupt)
+// for one message on (from, to) at now.
+func (p *FaultPlan) drop(class FaultClass, from, to int, now sim.Time) bool {
+	for _, r := range p.rules {
+		if r.Class != class || !r.matches(from, to, now) {
+			continue
+		}
+		if r.fire(p.rng) {
+			return true
+		}
+	}
+	return false
+}
+
+// degradeFactor returns the combined bandwidth multiplier for (from, to) at
+// now: the product of every active FaultDegrade rule's Factor, 1 if none.
+func (p *FaultPlan) degradeFactor(from, to int, now sim.Time) float64 {
+	f := 1.0
+	for _, r := range p.rules {
+		if r.Class == FaultDegrade && r.matches(from, to, now) {
+			f *= r.Factor
+		}
+	}
+	return f
+}
+
+// pausedUntil returns the earliest time at or after now when node's NIC is
+// out of every pause window (now itself if the node is not paused).
+func (p *FaultPlan) pausedUntil(node int, now sim.Time) sim.Time {
+	t := now
+	for changed := true; changed; {
+		changed = false
+		for _, r := range p.rules {
+			if r.Class != FaultPause {
+				continue
+			}
+			if r.To != AnyNode && r.To != node {
+				continue
+			}
+			if !r.windowOpen(t) {
+				continue
+			}
+			if end := r.windowEnd(t); end > t {
+				t = end
+				changed = true
+			}
+		}
+	}
+	return t
+}
+
+// windowEnd returns the end of the active window covering t (which must be
+// inside a window).
+func (r *FaultRule) windowEnd(t sim.Time) sim.Time {
+	var end sim.Time
+	since := t.Sub(r.Start)
+	switch {
+	case r.Period > 0:
+		end = r.Start.Add((since/r.Period)*r.Period + r.OnFor)
+	case r.OnFor > 0:
+		end = r.Start.Add(r.OnFor)
+	default:
+		end = r.End // open-ended pause without End would freeze forever
+	}
+	if r.End != 0 && (end == 0 || end > r.End) {
+		end = r.End
+	}
+	return end
+}

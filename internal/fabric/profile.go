@@ -73,6 +73,17 @@ type Profile struct {
 	// RNRRetryDelay is how long the sender NIC waits before retrying an RC
 	// Send that found no posted Receive at the destination.
 	RNRRetryDelay sim.Duration
+	// RNRRetryCount bounds RNR retries, as ibv_modify_qp's rnr_retry does
+	// on real HCAs. When exhausted the sender QP enters the Error state and
+	// the send completes with an RNR-retry-exceeded status.
+	RNRRetryCount int
+	// RetryCount bounds transport-level retries of lost or unacknowledged
+	// RC packets (ibv_modify_qp retry_cnt); exhaustion errors the QP.
+	RetryCount int
+	// TransportRetryDelay is how long the sender NIC waits for a missing
+	// acknowledgment before retransmitting an RC message (the local ACK
+	// timeout).
+	TransportRetryDelay sim.Duration
 	// UDReorderProb is the probability that a UD packet is delayed by a
 	// random jitter of up to UDReorderJitter, which can reorder it with later
 	// packets.
@@ -150,39 +161,42 @@ type Profile struct {
 // states, so multi-QP designs degrade as the cluster grows.
 func FDR() Profile {
 	return Profile{
-		Name:               "FDR",
-		LinkBandwidth:      6.60e9, // ~6.15 GiB/s usable wire rate
-		PropagationDelay:   600 * time.Nanosecond,
-		SwitchDelay:        200 * time.Nanosecond,
-		MTU:                4096,
-		HeaderRC:           38,
-		HeaderUD:           66,
-		MaxMsgRC:           1 << 30,
-		WQEProcessing:      35 * time.Nanosecond,
-		QPCacheSize:        48,
-		QPCacheMissPenalty: 1200 * time.Nanosecond,
-		ReadRequestBytes:   30,
-		RNRRetryDelay:      12 * time.Microsecond,
-		UDReorderProb:      0.02,
-		UDReorderJitter:    4 * time.Microsecond,
-		UDLossRate:         0,
-		PostCost:           340 * time.Nanosecond,
-		PollCost:           90 * time.Nanosecond,
-		MemCopyPerByte:     0.12,
-		HashPerTuple:       4 * time.Nanosecond,
-		TupleProcess:       3 * time.Nanosecond,
-		ConnSetupPerQP:     1300 * time.Microsecond,
-		ConnSetupBase:      2 * time.Millisecond,
-		MemRegBase:         500 * time.Microsecond,
-		MemRegPerByte:      0.015,
-		MemDeregBase:       200 * time.Microsecond,
-		MPIPerMessage:      2800 * time.Nanosecond,
-		TCPPerByte:         0.42,
-		TCPPerMessage:      1800 * time.Nanosecond,
-		IPoIBBandwidth:     3.2e9,
-		SupportsUD:         true,
-		SGEPerTuple:        60 * time.Nanosecond,
-		Threads:            10,
+		Name:                "FDR",
+		LinkBandwidth:       6.60e9, // ~6.15 GiB/s usable wire rate
+		PropagationDelay:    600 * time.Nanosecond,
+		SwitchDelay:         200 * time.Nanosecond,
+		MTU:                 4096,
+		HeaderRC:            38,
+		HeaderUD:            66,
+		MaxMsgRC:            1 << 30,
+		WQEProcessing:       35 * time.Nanosecond,
+		QPCacheSize:         48,
+		QPCacheMissPenalty:  1200 * time.Nanosecond,
+		ReadRequestBytes:    30,
+		RNRRetryDelay:       12 * time.Microsecond,
+		RNRRetryCount:       7,
+		RetryCount:          7,
+		TransportRetryDelay: 400 * time.Microsecond,
+		UDReorderProb:       0.02,
+		UDReorderJitter:     4 * time.Microsecond,
+		UDLossRate:          0,
+		PostCost:            340 * time.Nanosecond,
+		PollCost:            90 * time.Nanosecond,
+		MemCopyPerByte:      0.12,
+		HashPerTuple:        4 * time.Nanosecond,
+		TupleProcess:        3 * time.Nanosecond,
+		ConnSetupPerQP:      1300 * time.Microsecond,
+		ConnSetupBase:       2 * time.Millisecond,
+		MemRegBase:          500 * time.Microsecond,
+		MemRegPerByte:       0.015,
+		MemDeregBase:        200 * time.Microsecond,
+		MPIPerMessage:       2800 * time.Nanosecond,
+		TCPPerByte:          0.42,
+		TCPPerMessage:       1800 * time.Nanosecond,
+		IPoIBBandwidth:      3.2e9,
+		SupportsUD:          true,
+		SGEPerTuple:         60 * time.Nanosecond,
+		Threads:             10,
 	}
 }
 

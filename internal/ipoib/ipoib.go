@@ -266,4 +266,4 @@ func (h *host) GetData(p *sim.Proc) (*shuffle.Data, error) {
 
 // Release implements shuffle.RecvEndpoint; segment buffers are
 // garbage-collected, so nothing to do.
-func (h *host) Release(p *sim.Proc, d *shuffle.Data) {}
+func (h *host) Release(p *sim.Proc, d *shuffle.Data) error { return nil }

@@ -632,7 +632,7 @@ func (l *lib) allDone() bool {
 }
 
 // Release implements shuffle.RecvEndpoint.
-func (l *lib) Release(p *sim.Proc, d *shuffle.Data) {
+func (l *lib) Release(p *sim.Proc, d *shuffle.Data) error {
 	l.mu.Lock(p)
 	if d.Remote > 0 {
 		l.rdvFree = append(l.rdvFree, int(d.Remote-1))
@@ -641,4 +641,5 @@ func (l *lib) Release(p *sim.Proc, d *shuffle.Data) {
 		l.putAppBuf(d.Payload)
 	}
 	l.mu.Unlock(p)
+	return nil
 }

@@ -85,7 +85,7 @@ func Build(p *sim.Proc, devs []*verbs.Device, cfg Config, threads int) *Comm {
 				}
 			}
 			for a := 0; a < n; a++ {
-				rr[a].prime(p)
+				must(rr[a].prime(p))
 				// The initial grant travels with the out-of-band connection
 				// exchange: preset each sender's credit words.
 				for b := 0; b < n; b++ {
@@ -116,8 +116,8 @@ func Build(p *sim.Proc, devs []*verbs.Device, cfg Config, threads int) *Comm {
 				}
 			}
 			for a := 0; a < n; a++ {
-				ss[a].primeSend(p)
-				rr[a].prime(p)
+				must(ss[a].primeSend(p))
+				must(rr[a].prime(p))
 				for b := 0; b < n; b++ {
 					ss[b].credit[a] = rr[a].creditIssued[b]
 				}

@@ -230,7 +230,12 @@ func (r *Receive) Next(p *sim.Proc, tid int) (*engine.Batch, engine.State) {
 			r.pend[tid] = &pendingData{d: d, off: off}
 			return out, engine.MoreData
 		}
-		target.Release(p, d)
+		if err := target.Release(p, d); err != nil {
+			if r.Err == nil {
+				r.Err = err
+			}
+			return out, engine.Depleted
+		}
 		if out.Full() {
 			return out, engine.MoreData
 		}

@@ -86,34 +86,42 @@ func (e *rdRCSend) harvest() {
 	}
 }
 
-func (e *rdRCSend) reapWrites(p *sim.Proc) {
+func (e *rdRCSend) reapWrites(p *sim.Proc) error {
 	var es [16]verbs.CQE
 	for e.wcq.Len() > 0 {
-		e.gate.poll(p, e.wcq, es[:])
+		n := e.gate.poll(p, e.wcq, es[:])
+		for _, c := range es[:n] {
+			if c.Status != verbs.WCSuccess {
+				return wcErr(c)
+			}
+		}
 	}
+	return nil
 }
 
 // GetFree implements SendEndpoint (Alg. 3, GETFREE): it returns a buffer
 // only once every destination in its transmission group has marked it free.
 func (e *rdRCSend) GetFree(p *sim.Proc) (*Buf, error) {
-	var waited sim.Duration
+	w := newWaiter(e.cfg.StallTimeout)
 	for {
 		if off, ok := e.free.TryGet(); ok {
 			return e.buf(off), nil
 		}
 		e.harvest()
-		e.reapWrites(p)
+		if err := e.reapWrites(p); err != nil {
+			return nil, err
+		}
 		if off, ok := e.free.TryGet(); ok {
 			return e.buf(off), nil
 		}
-		if !e.dev.WaitMemChange(p, waitQuantum) {
-			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+		if !e.dev.WaitMemChange(p, w.step()) {
+			if !w.idle() {
 				return nil, fmt.Errorf("%w: RD GetFree on node %d (%d buffers outstanding)",
 					ErrStalled, e.dev.Node(), len(e.pending))
 			}
 			continue
 		}
-		waited = 0
+		w.progress()
 	}
 }
 
@@ -140,9 +148,10 @@ func (e *rdRCSend) writeSlot(p *sim.Proc, dest int, word uint64) error {
 		if err != verbs.ErrSQFull {
 			return err
 		}
-		var es [16]verbs.CQE
 		e.wcq.WaitNonEmpty(p, 0)
-		e.gate.poll(p, e.wcq, es[:])
+		if err := e.reapWrites(p); err != nil {
+			return err
+		}
 	}
 }
 
@@ -155,8 +164,7 @@ func (e *rdRCSend) send(p *sim.Proc, b *Buf, dest []int, depleted bool) error {
 			return err
 		}
 	}
-	e.reapWrites(p)
-	return nil
+	return e.reapWrites(p)
 }
 
 // Send implements SendEndpoint.
@@ -181,20 +189,22 @@ func (e *rdRCSend) Finish(p *sim.Proc) error {
 	if err := e.send(p, b, all, true); err != nil {
 		return err
 	}
-	var waited sim.Duration
+	w := newWaiter(e.cfg.StallTimeout)
 	for len(e.pending) > 0 {
 		e.harvest()
-		e.reapWrites(p)
+		if err := e.reapWrites(p); err != nil {
+			return err
+		}
 		if len(e.pending) == 0 {
 			break
 		}
-		if !e.dev.WaitMemChange(p, waitQuantum) {
-			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+		if !e.dev.WaitMemChange(p, w.step()) {
+			if !w.idle() {
 				return fmt.Errorf("%w: RD Finish flush (%d outstanding)", ErrStalled, len(e.pending))
 			}
 			continue
 		}
-		waited = 0
+		w.progress()
 	}
 	return nil
 }
@@ -305,6 +315,9 @@ func (e *rdRCRecv) drain(p *sim.Proc, block bool) error {
 
 func (e *rdRCRecv) handle(es []verbs.CQE) error {
 	for _, c := range es {
+		if c.Status != verbs.WCSuccess {
+			return wcErr(c)
+		}
 		if c.Op != verbs.OpRead {
 			continue // FreeArr write completion
 		}
@@ -391,7 +404,7 @@ func (e *rdRCRecv) writeFree(p *sim.Proc, src, remoteOff int) error {
 
 // GetData implements RecvEndpoint (Alg. 3, GETDATA).
 func (e *rdRCRecv) GetData(p *sim.Proc) (*Data, error) {
-	var waited sim.Duration
+	w := newWaiter(e.cfg.StallTimeout)
 	for {
 		if d := e.ready.pop(); d != nil {
 			return d, nil
@@ -418,27 +431,25 @@ func (e *rdRCRecv) GetData(p *sim.Proc) (*Data, error) {
 		}
 		ok := false
 		if e.outstanding > 0 {
-			ok = e.ocq.WaitNonEmpty(p, waitQuantum)
+			ok = e.ocq.WaitNonEmpty(p, w.step())
 		} else {
-			ok = e.dev.WaitMemChange(p, waitQuantum)
+			ok = e.dev.WaitMemChange(p, w.step())
 		}
 		if !ok {
-			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+			if !w.idle() {
 				return nil, fmt.Errorf("%w: RD GetData on node %d (%d/%d depleted, %d reads out)",
 					ErrStalled, e.dev.Node(), e.depleted, e.n, e.outstanding)
 			}
 		} else {
-			waited = 0
+			w.progress()
 		}
 	}
 }
 
 // Release implements RecvEndpoint (Alg. 3, RELEASE).
-func (e *rdRCRecv) Release(p *sim.Proc, d *Data) {
+func (e *rdRCRecv) Release(p *sim.Proc, d *Data) error {
 	e.releaseParts(d.Src, int(d.Remote), d.slot)
-	if err := e.flushFrees(p); err != nil {
-		panic(fmt.Sprintf("shuffle: RD release failed: %v", err))
-	}
+	return e.flushFrees(p)
 }
 
 func newRDRCSend(dev *verbs.Device, cfg Config, n, tpe int) *rdRCSend {

@@ -189,14 +189,24 @@ func Broadcast(n int) Groups {
 	return Groups{all}
 }
 
-// Errors surfaced by receive endpoints.
+// Errors surfaced by endpoints.
 var (
 	// ErrDataLoss means the UD receiver timed out waiting for messages the
 	// sender claims to have sent; the paper restarts the query.
 	ErrDataLoss = errors.New("shuffle: message count mismatch after timeout (packet loss)")
 	// ErrStalled means an endpoint call exceeded StallTimeout.
 	ErrStalled = errors.New("shuffle: endpoint stalled")
+	// ErrTransport means a work request completed with an error status (RNR
+	// or transport retries exhausted, or a flush after a Queue Pair entered
+	// the Error state). The query fragment fails and should restart.
+	ErrTransport = errors.New("shuffle: transport failure")
 )
+
+// wcErr converts a failed work completion into a transport error that the
+// SHUFFLE/RECEIVE operators surface as a query-fragment failure.
+func wcErr(c verbs.CQE) error {
+	return fmt.Errorf("%w: %v", ErrTransport, c.Err())
+}
 
 // Buffer header layout. Every transmission buffer starts with a 16-byte
 // header carrying the metadata the paper encodes in each buffer/message.
@@ -284,7 +294,9 @@ type RecvEndpoint interface {
 	GetData(p *sim.Proc) (*Data, error)
 	// Release returns d's buffer to the endpoint; for one-sided transports
 	// it also notifies the remote endpoint that d.Remote is consumable.
-	Release(p *sim.Proc, d *Data)
+	// Reposting or notifying can itself fail when the connection has
+	// errored, so Release reports transport failures like GetData does.
+	Release(p *sim.Proc, d *Data) error
 }
 
 // Provider supplies each node's communication endpoints. The RDMA Comm

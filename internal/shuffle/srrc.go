@@ -11,7 +11,47 @@ import (
 
 // waitQuantum is the polling granularity of endpoint wait loops; it bounds
 // the latency of observing conditions that have no direct wakeup path.
-const waitQuantum = 200 * time.Microsecond
+// Fruitless waits back off exponentially up to maxWaitQuantum so a stalled
+// endpoint re-polls ever less often while it runs down its StallTimeout.
+const (
+	waitQuantum    = 200 * time.Microsecond
+	maxWaitQuantum = 16 * waitQuantum
+)
+
+// waiter paces one blocking endpoint call: every fruitless wait doubles the
+// next quantum (productive work resets it) and accumulates toward the
+// StallTimeout bound, converting a protocol deadlock into a diagnosable
+// error instead of a hang. Wakeups themselves are event-driven (condition
+// broadcasts); the quantum only sets how often the loop re-checks state
+// that has no direct wakeup path.
+type waiter struct {
+	limit   sim.Duration
+	quantum sim.Duration
+	waited  sim.Duration
+}
+
+func newWaiter(limit sim.Duration) waiter {
+	return waiter{limit: limit, quantum: waitQuantum}
+}
+
+// step returns the quantum for the upcoming wait.
+func (w *waiter) step() sim.Duration { return w.quantum }
+
+// progress resets the backoff after productive work.
+func (w *waiter) progress() { w.quantum, w.waited = waitQuantum, 0 }
+
+// idle records a fruitless wait of the current quantum and reports false
+// once the accumulated wait exceeds the stall limit.
+func (w *waiter) idle() bool {
+	w.waited += w.quantum
+	if w.quantum < maxWaitQuantum {
+		w.quantum *= 2
+		if w.quantum > maxWaitQuantum {
+			w.quantum = maxWaitQuantum
+		}
+	}
+	return w.waited <= w.limit
+}
 
 // remoteWin addresses a window of remote registered memory.
 type remoteWin struct {
@@ -50,28 +90,38 @@ func (e *srRCSend) buf(off int) *Buf {
 // GetFree implements SendEndpoint: it polls the send CQ until a buffer has
 // completed toward every member of its transmission group.
 func (e *srRCSend) GetFree(p *sim.Proc) (*Buf, error) {
-	var waited sim.Duration
+	w := newWaiter(e.cfg.StallTimeout)
 	for {
 		if off, ok := e.free.TryGet(); ok {
 			return e.buf(off), nil
 		}
 		var es [16]verbs.CQE
-		if !e.cq.WaitNonEmpty(p, waitQuantum) {
-			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+		if !e.cq.WaitNonEmpty(p, w.step()) {
+			if !w.idle() {
 				return nil, fmt.Errorf("%w: GetFree on node %d", ErrStalled, e.dev.Node())
 			}
 			continue
 		}
-		waited = 0
+		w.progress()
 		n := e.gate.poll(p, e.cq, es[:])
-		e.reap(es[:n])
+		if err := e.reap(es[:n]); err != nil {
+			return nil, err
+		}
 	}
 }
 
 // reap processes send completions, returning fully-completed buffers to the
-// free list.
-func (e *srRCSend) reap(es []verbs.CQE) {
+// free list. A completion with an error status (retry exhaustion, or a
+// flush after the QP errored) aborts the endpoint.
+func (e *srRCSend) reap(es []verbs.CQE) error {
+	var err error
 	for _, c := range es {
+		if c.Status != verbs.WCSuccess {
+			if err == nil {
+				err = wcErr(c)
+			}
+			continue
+		}
 		off := int(c.WRID)
 		e.pending[off]--
 		if e.pending[off] == 0 {
@@ -79,25 +129,31 @@ func (e *srRCSend) reap(es []verbs.CQE) {
 			e.free.Put(off)
 		}
 	}
+	return err
 }
 
 // waitCredit blocks until the connection to dest has spare credit, then
 // consumes one unit.
 func (e *srRCSend) waitCredit(p *sim.Proc, dest int) error {
-	var waited sim.Duration
+	w := newWaiter(e.cfg.StallTimeout)
 	for {
+		if e.qps[dest].State() == verbs.QPError {
+			// The peer can never grant more credit over a dead connection;
+			// fail fast instead of running down the stall timeout.
+			return fmt.Errorf("%w: connection to node %d is in the error state", ErrTransport, dest)
+		}
 		credit := verbs.ReadUint64(e.creditMR.Buf[8*dest:])
 		if e.sent[dest] < credit {
 			e.sent[dest]++
 			return nil
 		}
-		if !e.dev.WaitMemChange(p, waitQuantum) {
-			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+		if !e.dev.WaitMemChange(p, w.step()) {
+			if !w.idle() {
 				return fmt.Errorf("%w: waiting for credit from node %d", ErrStalled, dest)
 			}
 			continue
 		}
-		waited = 0
+		w.progress()
 	}
 }
 
@@ -116,7 +172,9 @@ func (e *srRCSend) post(p *sim.Proc, dest, off, length int) error {
 		var es [16]verbs.CQE
 		e.cq.WaitNonEmpty(p, 0)
 		n := e.gate.poll(p, e.cq, es[:])
-		e.reap(es[:n])
+		if err := e.reap(es[:n]); err != nil {
+			return err
+		}
 	}
 }
 
@@ -154,18 +212,20 @@ func (e *srRCSend) Finish(p *sim.Proc) error {
 	if err := e.send(p, b, all, flagDepleted); err != nil {
 		return err
 	}
-	var waited sim.Duration
+	w := newWaiter(e.cfg.StallTimeout)
 	for len(e.pending) > 0 {
 		var es [16]verbs.CQE
-		if !e.cq.WaitNonEmpty(p, waitQuantum) {
-			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+		if !e.cq.WaitNonEmpty(p, w.step()) {
+			if !w.idle() {
 				return fmt.Errorf("%w: Finish flush on node %d", ErrStalled, e.dev.Node())
 			}
 			continue
 		}
-		waited = 0
+		w.progress()
 		n := e.gate.poll(p, e.cq, es[:])
-		e.reap(es[:n])
+		if err := e.reap(es[:n]); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -200,27 +260,40 @@ func (e *srRCRecv) slotOff(slot int) int { return slot * e.cfg.BufSize }
 func (e *srRCRecv) slotSrc(slot int) int { return slot / e.perSrc }
 
 // repost returns slot to its source QP and advances the credit protocol.
-func (e *srRCRecv) repost(p *sim.Proc, slot int) {
+func (e *srRCRecv) repost(p *sim.Proc, slot int) error {
 	src := e.slotSrc(slot)
 	err := e.gate.postRecv(p, e.qps[src], verbs.RecvWR{
 		ID: uint64(slot), MR: e.bufMR, Offset: e.slotOff(slot), Len: e.cfg.BufSize,
 	})
 	if err != nil {
-		panic(fmt.Sprintf("shuffle: repost recv failed on node %d: %v", e.dev.Node(), err))
+		return fmt.Errorf("%w: repost recv on node %d: %v", ErrTransport, e.dev.Node(), err)
 	}
 	e.creditIssued[src]++
 	if e.creditIssued[src]-e.lastWritten[src] >= uint64(e.cfg.CreditFrequency) {
-		e.writeCredit(p, src)
+		if err := e.writeCredit(p, src); err != nil {
+			return err
+		}
 	}
 	// Reap completed credit writes opportunistically.
+	return e.drainWrites(p)
+}
+
+// drainWrites reaps completed credit writes, surfacing any that failed.
+func (e *srRCRecv) drainWrites(p *sim.Proc) error {
 	var es [8]verbs.CQE
 	for e.wcq.Len() > 0 {
-		e.gate.poll(p, e.wcq, es[:])
+		n := e.gate.poll(p, e.wcq, es[:])
+		for _, c := range es[:n] {
+			if c.Status != verbs.WCSuccess {
+				return wcErr(c)
+			}
+		}
 	}
+	return nil
 }
 
 // writeCredit transmits the absolute credit for src with RDMA Write.
-func (e *srRCRecv) writeCredit(p *sim.Proc, src int) {
+func (e *srRCRecv) writeCredit(p *sim.Proc, src int) error {
 	e.lastWritten[src] = e.creditIssued[src]
 	verbs.PutUint64(e.stageMR.Buf[8*src:], e.creditIssued[src])
 	err := e.gate.post(p, e.qps[src], verbs.SendWR{
@@ -228,24 +301,28 @@ func (e *srRCRecv) writeCredit(p *sim.Proc, src int) {
 		RemoteKey: e.creditWin[src].rkey, RemoteOffset: e.creditWin[src].base,
 	})
 	if err == verbs.ErrSQFull {
-		var es [8]verbs.CQE
 		e.wcq.WaitNonEmpty(p, 0)
-		e.gate.poll(p, e.wcq, es[:])
-		e.writeCredit(p, src)
-		return
+		if err := e.drainWrites(p); err != nil {
+			return err
+		}
+		return e.writeCredit(p, src)
 	}
 	if err != nil {
-		panic(fmt.Sprintf("shuffle: credit write failed: %v", err))
+		return fmt.Errorf("%w: credit write: %v", ErrTransport, err)
 	}
+	return nil
 }
 
 // GetData implements RecvEndpoint.
 func (e *srRCRecv) GetData(p *sim.Proc) (*Data, error) {
-	var waited sim.Duration
+	w := newWaiter(e.cfg.StallTimeout)
 	for {
 		var es [1]verbs.CQE
 		if e.gate.poll(p, e.rcq, es[:]) == 1 {
-			waited = 0
+			w.progress()
+			if es[0].Status != verbs.WCSuccess {
+				return nil, wcErr(es[0])
+			}
 			slot := int(es[0].WRID)
 			off := e.slotOff(slot)
 			h := getHeader(e.bufMR.Buf[off:])
@@ -255,7 +332,9 @@ func (e *srRCRecv) GetData(p *sim.Proc) (*Data, error) {
 					e.rcq.Kick()
 				}
 				if h.payload == 0 {
-					e.repost(p, slot)
+					if err := e.repost(p, slot); err != nil {
+						return nil, err
+					}
 					continue
 				}
 			}
@@ -268,8 +347,8 @@ func (e *srRCRecv) GetData(p *sim.Proc) (*Data, error) {
 		if e.depleted >= e.n {
 			return nil, nil
 		}
-		if !e.rcq.WaitNonEmpty(p, waitQuantum) {
-			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+		if !e.rcq.WaitNonEmpty(p, w.step()) {
+			if !w.idle() {
 				return nil, fmt.Errorf("%w: GetData on node %d (%d/%d sources depleted)",
 					ErrStalled, e.dev.Node(), e.depleted, e.n)
 			}
@@ -278,8 +357,8 @@ func (e *srRCRecv) GetData(p *sim.Proc) (*Data, error) {
 }
 
 // Release implements RecvEndpoint.
-func (e *srRCRecv) Release(p *sim.Proc, d *Data) {
-	e.repost(p, d.slot)
+func (e *srRCRecv) Release(p *sim.Proc, d *Data) error {
+	return e.repost(p, d.slot)
 }
 
 // newSRRCPair builds the per-node send and receive endpoint halves; comm
@@ -340,7 +419,7 @@ func newSRRCRecv(dev *verbs.Device, cfg Config, n, tpe int) *srRCRecv {
 // prime posts the initial receive windows and records the initial credit,
 // which the wiring communicates to senders out of band (part of connection
 // setup).
-func (e *srRCRecv) prime(p *sim.Proc) {
+func (e *srRCRecv) prime(p *sim.Proc) error {
 	for src := 0; src < e.n; src++ {
 		for i := 0; i < e.perSrc; i++ {
 			slot := src*e.perSrc + i
@@ -348,10 +427,11 @@ func (e *srRCRecv) prime(p *sim.Proc) {
 				ID: uint64(slot), MR: e.bufMR, Offset: e.slotOff(slot), Len: e.cfg.BufSize,
 			})
 			if err != nil {
-				panic(fmt.Sprintf("shuffle: prime recv failed: %v", err))
+				return fmt.Errorf("shuffle: prime recv failed: %v", err)
 			}
 		}
 		e.creditIssued[src] = uint64(e.perSrc)
 		e.lastWritten[src] = uint64(e.perSrc)
 	}
+	return nil
 }

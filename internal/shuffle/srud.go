@@ -51,11 +51,14 @@ func (e *srUDSend) buf(off int) *Buf {
 
 // drainCredit consumes pending credit datagrams; absolute credit makes the
 // update a simple max, so reordered or duplicated grants are harmless.
-func (e *srUDSend) drainCredit(p *sim.Proc) {
+func (e *srUDSend) drainCredit(p *sim.Proc) error {
 	var es [16]verbs.CQE
 	for e.ccq.Len() > 0 {
 		n := e.gate.poll(p, e.ccq, es[:])
 		for _, c := range es[:n] {
+			if c.Status != verbs.WCSuccess {
+				return wcErr(c)
+			}
 			slot := int(c.WRID)
 			off := slot * e.creditSlot
 			h := getHeader(e.creditMR.Buf[off+verbs.GRHSize:])
@@ -64,22 +67,33 @@ func (e *srUDSend) drainCredit(p *sim.Proc) {
 					e.credit[h.src] = h.value
 				}
 			}
-			e.postCreditRecv(p, slot)
+			if err := e.postCreditRecv(p, slot); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
-func (e *srUDSend) postCreditRecv(p *sim.Proc, slot int) {
+func (e *srUDSend) postCreditRecv(p *sim.Proc, slot int) error {
 	err := e.gate.postRecv(p, e.qp, verbs.RecvWR{
 		ID: uint64(slot), MR: e.creditMR, Offset: slot * e.creditSlot, Len: e.creditSlot,
 	})
 	if err != nil {
-		panic(fmt.Sprintf("shuffle: UD credit repost failed: %v", err))
+		return fmt.Errorf("%w: UD credit repost: %v", ErrTransport, err)
 	}
+	return nil
 }
 
-func (e *srUDSend) reap(es []verbs.CQE) {
+func (e *srUDSend) reap(es []verbs.CQE) error {
+	var err error
 	for _, c := range es {
+		if c.Status != verbs.WCSuccess {
+			if err == nil {
+				err = wcErr(c)
+			}
+			continue
+		}
 		off := int(c.WRID)
 		e.pending[off]--
 		if e.pending[off] == 0 {
@@ -87,43 +101,48 @@ func (e *srUDSend) reap(es []verbs.CQE) {
 			e.free.Put(off)
 		}
 	}
+	return err
 }
 
 // GetFree implements SendEndpoint.
 func (e *srUDSend) GetFree(p *sim.Proc) (*Buf, error) {
-	var waited sim.Duration
+	w := newWaiter(e.cfg.StallTimeout)
 	for {
 		if off, ok := e.free.TryGet(); ok {
 			return e.buf(off), nil
 		}
 		var es [16]verbs.CQE
-		if !e.scq.WaitNonEmpty(p, waitQuantum) {
-			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+		if !e.scq.WaitNonEmpty(p, w.step()) {
+			if !w.idle() {
 				return nil, fmt.Errorf("%w: UD GetFree on node %d", ErrStalled, e.dev.Node())
 			}
 			continue
 		}
-		waited = 0
+		w.progress()
 		n := e.gate.poll(p, e.scq, es[:])
-		e.reap(es[:n])
+		if err := e.reap(es[:n]); err != nil {
+			return nil, err
+		}
 	}
 }
 
 func (e *srUDSend) waitCredit(p *sim.Proc, dest int) error {
-	var waited sim.Duration
+	w := newWaiter(e.cfg.StallTimeout)
 	for {
-		e.drainCredit(p)
+		if err := e.drainCredit(p); err != nil {
+			return err
+		}
 		if e.sent[dest] < e.credit[dest] {
 			e.sent[dest]++
 			return nil
 		}
-		if !e.ccq.WaitNonEmpty(p, waitQuantum) {
-			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+		if !e.ccq.WaitNonEmpty(p, w.step()) {
+			if !w.idle() {
 				return fmt.Errorf("%w: waiting for UD credit from node %d", ErrStalled, dest)
 			}
 			continue
 		}
-		waited = 0
+		w.progress()
 	}
 }
 
@@ -143,7 +162,9 @@ func (e *srUDSend) post(p *sim.Proc, dest, off, length int) error {
 		var es [16]verbs.CQE
 		e.scq.WaitNonEmpty(p, 0)
 		n := e.gate.poll(p, e.scq, es[:])
-		e.reap(es[:n])
+		if err := e.reap(es[:n]); err != nil {
+			return err
+		}
 	}
 }
 
@@ -176,7 +197,9 @@ func (e *srUDSend) send(p *sim.Proc, b *Buf, dest []int, flags uint16, value uin
 			var es [16]verbs.CQE
 			e.scq.WaitNonEmpty(p, 0)
 			n := e.gate.poll(p, e.scq, es[:])
-			e.reap(es[:n])
+			if err := e.reap(es[:n]); err != nil {
+				return err
+			}
 		}
 	}
 	e.pending[b.off] = len(dest)
@@ -213,18 +236,20 @@ func (e *srUDSend) Finish(p *sim.Proc) error {
 			return err
 		}
 	}
-	var waited sim.Duration
+	w := newWaiter(e.cfg.StallTimeout)
 	for len(e.pending) > 0 {
 		var es [16]verbs.CQE
-		if !e.scq.WaitNonEmpty(p, waitQuantum) {
-			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+		if !e.scq.WaitNonEmpty(p, w.step()) {
+			if !w.idle() {
 				return fmt.Errorf("%w: UD Finish flush", ErrStalled)
 			}
 			continue
 		}
-		waited = 0
+		w.progress()
 		n := e.gate.poll(p, e.scq, es[:])
-		e.reap(es[:n])
+		if err := e.reap(es[:n]); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -276,25 +301,38 @@ func (e *srUDRecv) allDone() bool {
 	return true
 }
 
-func (e *srUDRecv) repost(p *sim.Proc, slot, src int) {
+func (e *srUDRecv) repost(p *sim.Proc, slot, src int) error {
 	err := e.gate.postRecv(p, e.qp, verbs.RecvWR{
 		ID: uint64(slot), MR: e.bufMR, Offset: slot * e.slotSize, Len: e.slotSize,
 	})
 	if err != nil {
-		panic(fmt.Sprintf("shuffle: UD repost failed: %v", err))
+		return fmt.Errorf("%w: UD repost: %v", ErrTransport, err)
 	}
 	e.creditIssued[src]++
 	if e.creditIssued[src]-e.lastWritten[src] >= uint64(e.cfg.CreditFrequency) {
-		e.sendCredit(p, src)
+		if err := e.sendCredit(p, src); err != nil {
+			return err
+		}
 	}
+	return e.drainSends(p)
+}
+
+// drainSends reaps completed credit-datagram sends, surfacing failures.
+func (e *srUDRecv) drainSends(p *sim.Proc) error {
 	var es [8]verbs.CQE
 	for e.scq.Len() > 0 {
-		e.gate.poll(p, e.scq, es[:])
+		n := e.gate.poll(p, e.scq, es[:])
+		for _, c := range es[:n] {
+			if c.Status != verbs.WCSuccess {
+				return wcErr(c)
+			}
+		}
 	}
+	return nil
 }
 
 // sendCredit grants absolute credit to src with a small UD datagram.
-func (e *srUDRecv) sendCredit(p *sim.Proc, src int) {
+func (e *srUDRecv) sendCredit(p *sim.Proc, src int) error {
 	e.lastWritten[src] = e.creditIssued[src]
 	off := src * HeaderSize
 	putHeader(e.stageMR.Buf[off:], header{
@@ -305,24 +343,28 @@ func (e *srUDRecv) sendCredit(p *sim.Proc, src int) {
 		Dest: e.ahs[src], Inline: true,
 	})
 	if err == verbs.ErrSQFull {
-		var es [8]verbs.CQE
 		e.scq.WaitNonEmpty(p, 0)
-		e.gate.poll(p, e.scq, es[:])
-		e.sendCredit(p, src)
-		return
+		if err := e.drainSends(p); err != nil {
+			return err
+		}
+		return e.sendCredit(p, src)
 	}
 	if err != nil {
-		panic(fmt.Sprintf("shuffle: UD credit send failed: %v", err))
+		return fmt.Errorf("%w: UD credit send: %v", ErrTransport, err)
 	}
+	return nil
 }
 
 // GetData implements RecvEndpoint.
 func (e *srUDRecv) GetData(p *sim.Proc) (*Data, error) {
-	var waited sim.Duration
+	w := newWaiter(e.cfg.StallTimeout)
 	for {
 		var es [1]verbs.CQE
 		if e.gate.poll(p, e.rcq, es[:]) == 1 {
-			waited = 0
+			w.progress()
+			if es[0].Status != verbs.WCSuccess {
+				return nil, wcErr(es[0])
+			}
 			slot := int(es[0].WRID)
 			off := slot*e.slotSize + verbs.GRHSize
 			h := getHeader(e.bufMR.Buf[off:])
@@ -333,7 +375,9 @@ func (e *srUDRecv) GetData(p *sim.Proc) (*Data, error) {
 					e.knownCount++
 				}
 				e.expected[src] = h.value
-				e.repost(p, slot, src)
+				if err := e.repost(p, slot, src); err != nil {
+					return nil, err
+				}
 				if e.allDone() {
 					e.rcq.Kick()
 				}
@@ -352,22 +396,23 @@ func (e *srUDRecv) GetData(p *sim.Proc) (*Data, error) {
 		if e.allDone() {
 			return nil, nil
 		}
-		if !e.rcq.WaitNonEmpty(p, waitQuantum) {
-			waited += waitQuantum
+		q := w.step()
+		if !e.rcq.WaitNonEmpty(p, q) {
 			if e.knownCount == e.n {
 				// All totals known but counts short: either packets are
 				// still in flight (common, reordering) or lost (rare).
-				if e.lossWait += waitQuantum; e.lossWait > e.cfg.DepletedTimeout {
+				if e.lossWait += q; e.lossWait > e.cfg.DepletedTimeout {
 					return nil, fmt.Errorf("%w on node %d: %s",
 						ErrDataLoss, e.dev.Node(), e.lossReport())
 				}
 			}
-			if waited > e.cfg.StallTimeout {
+			if !w.idle() {
 				return nil, fmt.Errorf("%w: UD GetData on node %d (%d/%d totals)",
 					ErrStalled, e.dev.Node(), e.knownCount, e.n)
 			}
 		} else {
-			waited, e.lossWait = 0, 0
+			w.progress()
+			e.lossWait = 0
 		}
 	}
 }
@@ -381,8 +426,8 @@ func (e *srUDRecv) lossReport() string {
 }
 
 // Release implements RecvEndpoint.
-func (e *srUDRecv) Release(p *sim.Proc, d *Data) {
-	e.repost(p, d.slot, d.Src)
+func (e *srUDRecv) Release(p *sim.Proc, d *Data) error {
+	return e.repost(p, d.slot, d.Src)
 }
 
 func newSRUDSend(dev *verbs.Device, cfg Config, n, tpe int) *srUDSend {
@@ -418,10 +463,13 @@ func newSRUDSend(dev *verbs.Device, cfg Config, n, tpe int) *srUDSend {
 }
 
 // primeSend posts the credit-datagram receive windows.
-func (e *srUDSend) primeSend(p *sim.Proc) {
+func (e *srUDSend) primeSend(p *sim.Proc) error {
 	for slot := 0; slot < 4*e.n; slot++ {
-		e.postCreditRecv(p, slot)
+		if err := e.postCreditRecv(p, slot); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 func newSRUDRecv(dev *verbs.Device, cfg Config, n, tpe int) *srUDRecv {
@@ -453,17 +501,18 @@ func newSRUDRecv(dev *verbs.Device, cfg Config, n, tpe int) *srUDRecv {
 
 // prime posts every data receive slot and records the initial per-source
 // credit grant, which wiring communicates to senders out of band.
-func (e *srUDRecv) prime(p *sim.Proc) {
+func (e *srUDRecv) prime(p *sim.Proc) error {
 	for slot := 0; slot < e.slots; slot++ {
 		err := e.qp.PostRecv(p, verbs.RecvWR{
 			ID: uint64(slot), MR: e.bufMR, Offset: slot * e.slotSize, Len: e.slotSize,
 		})
 		if err != nil {
-			panic(fmt.Sprintf("shuffle: UD prime failed: %v", err))
+			return fmt.Errorf("shuffle: UD prime failed: %v", err)
 		}
 	}
 	for src := 0; src < e.n; src++ {
 		e.creditIssued[src] = uint64(e.perSrc)
 		e.lastWritten[src] = uint64(e.perSrc)
 	}
+	return nil
 }

@@ -61,8 +61,13 @@ func (e *wrRCSend) buf(off int) *Buf {
 // popSlot takes one granted remote slot for dest, blocking until the
 // receiver grants one.
 func (e *wrRCSend) popSlot(p *sim.Proc, dest int) (int, error) {
-	var waited sim.Duration
+	w := newWaiter(e.cfg.StallTimeout)
 	for {
+		if e.qps[dest].State() == verbs.QPError {
+			// Grants arrive over the reverse direction of this connection;
+			// once it errors no grant can ever land, so fail fast.
+			return 0, fmt.Errorf("%w: connection to node %d is in the error state", ErrTransport, dest)
+		}
 		idx := dest*e.queueCap + e.cons[dest]%e.queueCap
 		v := verbs.ReadUint64(e.slotArrMR.Buf[8*idx:])
 		if v&slotValid != 0 {
@@ -71,22 +76,31 @@ func (e *wrRCSend) popSlot(p *sim.Proc, dest int) (int, error) {
 			off, _, _ := unpackSlot(v)
 			return off, nil
 		}
-		e.reapWrites(p)
-		if !e.dev.WaitMemChange(p, waitQuantum) {
-			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+		if err := e.reapWrites(p); err != nil {
+			return 0, err
+		}
+		if !e.dev.WaitMemChange(p, w.step()) {
+			if !w.idle() {
 				return 0, fmt.Errorf("%w: WR waiting for slot grant from node %d", ErrStalled, dest)
 			}
 			continue
 		}
-		waited = 0
+		w.progress()
 	}
 }
 
-func (e *wrRCSend) reapWrites(p *sim.Proc) {
+func (e *wrRCSend) reapWrites(p *sim.Proc) error {
 	var es [16]verbs.CQE
+	var err error
 	for e.wcq.Len() > 0 {
 		n := e.gate.poll(p, e.wcq, es[:])
 		for _, c := range es[:n] {
+			if c.Status != verbs.WCSuccess {
+				if err == nil {
+					err = wcErr(c)
+				}
+				continue
+			}
 			if c.WRID == 0 {
 				continue // announcement write
 			}
@@ -98,27 +112,30 @@ func (e *wrRCSend) reapWrites(p *sim.Proc) {
 			}
 		}
 	}
+	return err
 }
 
 // GetFree implements SendEndpoint: a buffer is reusable once its data
 // writes complete locally — no remote notification needed.
 func (e *wrRCSend) GetFree(p *sim.Proc) (*Buf, error) {
-	var waited sim.Duration
+	w := newWaiter(e.cfg.StallTimeout)
 	for {
 		if off, ok := e.free.TryGet(); ok {
 			return e.buf(off), nil
 		}
-		e.reapWrites(p)
+		if err := e.reapWrites(p); err != nil {
+			return nil, err
+		}
 		if off, ok := e.free.TryGet(); ok {
 			return e.buf(off), nil
 		}
-		if !e.wcq.WaitNonEmpty(p, waitQuantum) {
-			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+		if !e.wcq.WaitNonEmpty(p, w.step()) {
+			if !w.idle() {
 				return nil, fmt.Errorf("%w: WR GetFree on node %d", ErrStalled, e.dev.Node())
 			}
 			continue
 		}
-		waited = 0
+		w.progress()
 	}
 }
 
@@ -132,7 +149,9 @@ func (e *wrRCSend) postWrite(p *sim.Proc, dest int, wr verbs.SendWR) error {
 			return err
 		}
 		e.wcq.WaitNonEmpty(p, 0)
-		e.reapWrites(p)
+		if err := e.reapWrites(p); err != nil {
+			return err
+		}
 	}
 }
 
@@ -167,8 +186,7 @@ func (e *wrRCSend) send(p *sim.Proc, b *Buf, dest []int, depleted bool) error {
 			return err
 		}
 	}
-	e.reapWrites(p)
-	return nil
+	return e.reapWrites(p)
 }
 
 // Send implements SendEndpoint.
@@ -190,19 +208,21 @@ func (e *wrRCSend) Finish(p *sim.Proc) error {
 	if err := e.send(p, b, all, true); err != nil {
 		return err
 	}
-	var waited sim.Duration
+	w := newWaiter(e.cfg.StallTimeout)
 	for len(e.pending) > 0 {
-		e.reapWrites(p)
+		if err := e.reapWrites(p); err != nil {
+			return err
+		}
 		if len(e.pending) == 0 {
 			break
 		}
-		if !e.wcq.WaitNonEmpty(p, waitQuantum) {
-			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+		if !e.wcq.WaitNonEmpty(p, w.step()) {
+			if !w.idle() {
 				return fmt.Errorf("%w: WR Finish flush (%d outstanding)", ErrStalled, len(e.pending))
 			}
 			continue
 		}
-		waited = 0
+		w.progress()
 	}
 	return nil
 }
@@ -252,13 +272,24 @@ func (e *wrRCRecv) grant(p *sim.Proc, src, slot int) error {
 		if err != verbs.ErrSQFull {
 			return err
 		}
-		var es [16]verbs.CQE
 		e.gcq.WaitNonEmpty(p, 0)
-		e.gate.poll(p, e.gcq, es[:])
+		if err := e.drainGrants(p); err != nil {
+			return err
+		}
 	}
+	return e.drainGrants(p)
+}
+
+// drainGrants reaps completed grant writes, surfacing any that failed.
+func (e *wrRCRecv) drainGrants(p *sim.Proc) error {
 	var es [8]verbs.CQE
 	for e.gcq.Len() > 0 {
-		e.gate.poll(p, e.gcq, es[:])
+		n := e.gate.poll(p, e.gcq, es[:])
+		for _, c := range es[:n] {
+			if c.Status != verbs.WCSuccess {
+				return wcErr(c)
+			}
+		}
 	}
 	return nil
 }
@@ -266,7 +297,7 @@ func (e *wrRCRecv) grant(p *sim.Proc, src, slot int) error {
 // GetData implements RecvEndpoint: announcements arrive purely through
 // memory, so the wait path watches for remote writes.
 func (e *wrRCRecv) GetData(p *sim.Proc) (*Data, error) {
-	var waited sim.Duration
+	w := newWaiter(e.cfg.StallTimeout)
 	for {
 		for src := 0; src < e.n; src++ {
 			idx := src*e.queueCap + e.cons[src]%e.queueCap
@@ -300,25 +331,23 @@ func (e *wrRCRecv) GetData(p *sim.Proc) (*Data, error) {
 		if e.depleted >= e.n {
 			return nil, nil
 		}
-		if !e.dev.WaitMemChange(p, waitQuantum) {
-			if waited += waitQuantum; waited > e.cfg.StallTimeout {
+		if !e.dev.WaitMemChange(p, w.step()) {
+			if !w.idle() {
 				return nil, fmt.Errorf("%w: WR GetData on node %d (%d/%d depleted)",
 					ErrStalled, e.dev.Node(), e.depleted, e.n)
 			}
 		} else {
-			waited = 0
+			w.progress()
 		}
 	}
 }
 
 // Release implements RecvEndpoint.
-func (e *wrRCRecv) Release(p *sim.Proc, d *Data) {
+func (e *wrRCRecv) Release(p *sim.Proc, d *Data) error {
 	// The slot belongs to the source that filled it; slots are partitioned
 	// per source, so recover the source from the slot index.
 	src := d.slot / (e.perSrc * e.cfg.BufSize)
-	if err := e.grant(p, src, d.slot); err != nil {
-		panic(fmt.Sprintf("shuffle: WR re-grant failed: %v", err))
-	}
+	return e.grant(p, src, d.slot)
 }
 
 func newWRRCSend(dev *verbs.Device, cfg Config, n, tpe, grantCap int) *wrRCSend {

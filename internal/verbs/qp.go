@@ -83,6 +83,9 @@ type QP struct {
 
 	recvQ       []RecvWR
 	outstanding int
+	// inflight tracks posted sends in order, so that an error transition
+	// can flush them deterministically.
+	inflight []inflightWR
 
 	// stalled holds RC messages that arrived while no receive was posted.
 	// The connection preserves ordering: later arrivals queue behind the
@@ -90,7 +93,14 @@ type QP struct {
 	stalled      []stalledRC
 	drainPending bool
 
+	state     QPState
 	destroyed bool
+}
+
+// inflightWR is the identity of one posted, uncompleted send-side WR.
+type inflightWR struct {
+	id uint64
+	op Opcode
 }
 
 // stalledRC is an in-flight RC message waiting for a posted receive.
@@ -98,6 +108,9 @@ type stalledRC struct {
 	payload []byte
 	wr      SendWR
 	src     *QP
+	// retries counts RNR retry rounds this message has spent at the head
+	// of the stall queue.
+	retries int
 }
 
 // CreateQP creates a queue pair of the configured type. It panics if the
@@ -129,6 +142,9 @@ func (qp *QP) QPN() uint32 { return qp.qpn }
 // Type returns the transport service of this QP.
 func (qp *QP) Type() fabric.Service { return qp.cfg.Type }
 
+// State returns the queue pair state.
+func (qp *QP) State() QPState { return qp.state }
+
 // Destroy removes the QP; subsequent deliveries to it are dropped.
 func (qp *QP) Destroy() {
 	qp.destroyed = true
@@ -159,6 +175,9 @@ func (qp *QP) PostRecv(p *sim.Proc, wr RecvWR) error {
 	defer qp.mu.Unlock(p)
 	p.Sleep(qp.dev.prof().PostCost)
 	qp.dev.stats.Posts++
+	if qp.state == QPError {
+		return ErrQPError
+	}
 	if len(qp.recvQ) >= qp.cfg.MaxRecv {
 		return ErrRQFull
 	}
@@ -169,7 +188,7 @@ func (qp *QP) PostRecv(p *sim.Proc, wr RecvWR) error {
 		return ErrTooLong
 	}
 	qp.recvQ = append(qp.recvQ, wr)
-	qp.drainStalled()
+	qp.armRNRTimer()
 	return nil
 }
 
@@ -182,6 +201,10 @@ func (qp *QP) PostSend(p *sim.Proc, wr SendWR) error {
 	qp.mu.Lock(p)
 	p.Sleep(qp.dev.prof().PostCost)
 	qp.dev.stats.Posts++
+	if qp.state == QPError {
+		qp.mu.Unlock(p)
+		return ErrQPError
+	}
 	if qp.outstanding >= qp.cfg.MaxSend {
 		qp.mu.Unlock(p)
 		return ErrSQFull
@@ -203,6 +226,7 @@ func (qp *QP) PostSend(p *sim.Proc, wr SendWR) error {
 	}
 	if err == nil {
 		qp.outstanding++
+		qp.inflight = append(qp.inflight, inflightWR{wr.ID, wr.Op})
 	}
 	qp.mu.Unlock(p)
 	return err
@@ -213,8 +237,54 @@ func (qp *QP) PostSend(p *sim.Proc, wr SendWR) error {
 func (qp *QP) Outstanding() int { return qp.outstanding }
 
 func (qp *QP) complete(cq *CQ, e CQE) {
+	if qp.state == QPError {
+		// The WR was already flushed with an error completion; drop the
+		// late success.
+		return
+	}
+	qp.dropInflight(e.WRID, e.Op)
 	qp.outstanding--
 	cq.push(e)
+}
+
+// dropInflight removes the first in-flight record matching (id, op).
+func (qp *QP) dropInflight(id uint64, op Opcode) bool {
+	for i, w := range qp.inflight {
+		if w.id == id && w.op == op {
+			qp.inflight = append(qp.inflight[:i], qp.inflight[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// enterError transitions the QP to the Error state: the triggering failed WR
+// completes with its error status, every other outstanding send-side WR and
+// every posted receive is flushed with WCFlushErr, and subsequent posts fail
+// with ErrQPError. It is idempotent.
+func (qp *QP) enterError(trigger CQE) {
+	if qp.state == QPError || qp.destroyed {
+		return
+	}
+	qp.state = QPError
+	qp.dev.stats.QPErrors++
+	if qp.dropInflight(trigger.WRID, trigger.Op) {
+		qp.outstanding--
+	}
+	qp.cfg.SendCQ.pushFlush(trigger)
+	for _, w := range qp.inflight {
+		qp.outstanding--
+		qp.cfg.SendCQ.pushFlush(CQE{QPN: qp.qpn, WRID: w.id, Op: w.op, Status: WCFlushErr})
+	}
+	qp.inflight = nil
+	for _, rwr := range qp.recvQ {
+		qp.cfg.RecvCQ.pushFlush(CQE{QPN: qp.qpn, WRID: rwr.ID, Op: OpRecv, Status: WCFlushErr})
+	}
+	qp.recvQ = nil
+	qp.stalled = nil
+	// Wake pollers that wait on memory changes rather than CQs (one-sided
+	// protocols) so they observe the failure promptly.
+	qp.dev.memWake.Broadcast()
 }
 
 func (qp *QP) postSendMsg(p *sim.Proc, wr SendWR) error {
@@ -271,9 +341,37 @@ func (qp *QP) postSendMsg(p *sim.Proc, wr SendWR) error {
 		msg.Deliver = func(at sim.Time) {
 			qp.deliverRC(toNode, toQPN, payload, wr)
 		}
+		qp.armRetry(msg, wr.ID, OpSend)
 	}
 	net.Transmit(msg)
 	return nil
+}
+
+// armRetry installs the transport-level retransmit handler on an RC message:
+// a packet the fabric reports lost is re-sent after TransportRetryDelay, at
+// most RetryCount times, after which the QP enters the Error state with a
+// WCRetryExceeded completion (ibv retry_cnt semantics).
+func (qp *QP) armRetry(msg *fabric.Message, wrID uint64, op Opcode) {
+	prof := qp.dev.prof()
+	net := qp.dev.net
+	attempts := 0
+	msg.Dropped = func() {
+		if qp.state == QPError || qp.destroyed {
+			return
+		}
+		attempts++
+		if attempts > prof.RetryCount {
+			qp.enterError(CQE{QPN: qp.qpn, WRID: wrID, Op: op, Status: WCRetryExceeded})
+			return
+		}
+		qp.dev.stats.TransportRetries++
+		net.Sim.After(prof.TransportRetryDelay, func() {
+			if qp.state == QPError || qp.destroyed {
+				return
+			}
+			net.Transmit(msg)
+		})
+	}
 }
 
 // postMulticast sends one datagram to every QP attached to the MGID.
@@ -332,9 +430,20 @@ func (qp *QP) deliverRC(toNode int, toQPN uint32, payload []byte, wr SendWR) {
 	if rqp == nil || rqp.destroyed || rqp.cfg.Type != fabric.RC {
 		panic(fmt.Sprintf("verbs: RC send to nonexistent QP %d on node %d", toQPN, toNode))
 	}
+	if qp.state == QPError {
+		// Late arrival of a send that was already flushed at the source.
+		return
+	}
+	if rqp.state == QPError {
+		// The peer flushed its receive queue and will never post again; the
+		// sender observes the broken connection as retry exhaustion.
+		qp.enterError(CQE{QPN: qp.qpn, WRID: wr.ID, Op: OpSend, Status: WCRetryExceeded})
+		return
+	}
 	if len(rqp.stalled) > 0 || len(rqp.recvQ) == 0 {
 		qp.dev.stats.RNRRetries++
 		rqp.stalled = append(rqp.stalled, stalledRC{payload: payload, wr: wr, src: qp})
+		rqp.armRNRTimer()
 		return
 	}
 	rqp.match(stalledRC{payload: payload, wr: wr, src: qp})
@@ -365,22 +474,65 @@ func (rqp *QP) match(m stalledRC) {
 	})
 }
 
-// drainStalled matches stalled messages against newly posted receives after
-// one RNR retry delay, preserving arrival order.
-func (rqp *QP) drainStalled() {
+// armRNRTimer schedules one RNR retry round after RNRRetryDelay, unless one
+// is already pending. Rounds drain stalled messages against posted receives
+// in arrival order; a head message that stays unmatched burns one of its
+// bounded retries (rnr_retry semantics).
+func (rqp *QP) armRNRTimer() { rqp.armRNRAfter(rqp.dev.prof().RNRRetryDelay) }
+
+func (rqp *QP) armRNRAfter(d sim.Duration) {
 	if rqp.drainPending || len(rqp.stalled) == 0 {
 		return
 	}
 	rqp.drainPending = true
-	net := rqp.dev.net
-	net.Sim.After(net.Prof.RNRRetryDelay, func() {
-		rqp.drainPending = false
-		for len(rqp.stalled) > 0 && len(rqp.recvQ) > 0 {
-			m := rqp.stalled[0]
-			rqp.stalled = rqp.stalled[1:]
-			rqp.match(m)
+	rqp.dev.net.Sim.After(d, func() { rqp.rnrTick() })
+}
+
+// rnrTick runs one RNR retry round.
+func (rqp *QP) rnrTick() {
+	rqp.drainPending = false
+	if rqp.destroyed || rqp.state == QPError {
+		rqp.stalled = nil
+		return
+	}
+	for len(rqp.stalled) > 0 && len(rqp.recvQ) > 0 {
+		m := rqp.stalled[0]
+		rqp.stalled = rqp.stalled[1:]
+		rqp.match(m)
+	}
+	if len(rqp.stalled) == 0 {
+		return
+	}
+	// Still no receive posted: the sender NIC retries the head message and
+	// receives another RNR NAK.
+	head := &rqp.stalled[0]
+	head.retries++
+	rqp.dev.stats.RNRRetries++
+	if lim := rqp.dev.prof().RNRRetryCount; lim > 0 && head.retries > lim {
+		// rnr_retry exhausted: the sender QP breaks. Every message it has
+		// queued here dies with it (an RC connection is one sender QP).
+		src := head.src
+		id := head.wr.ID
+		kept := rqp.stalled[:0]
+		for _, m := range rqp.stalled {
+			if m.src != src {
+				kept = append(kept, m)
+			}
 		}
-	})
+		rqp.stalled = kept
+		src.enterError(CQE{QPN: src.qpn, WRID: id, Op: OpSend, Status: WCRNRRetryExceeded})
+	}
+	if len(rqp.stalled) > 0 {
+		// Successive NAKs advertise geometrically growing RNR timers, so
+		// rnr_retry = 7 buys a total stall budget of 127 base delays
+		// (~1.5 ms on FDR) before the connection breaks.
+		d := rqp.dev.prof().RNRRetryDelay
+		shift := rqp.stalled[0].retries
+		if shift > 6 {
+			shift = 6
+		}
+		rqp.armRNRAfter(d << shift)
+	}
 }
 
 // deliverUD lands a datagram: no receive posted, wrong QP type, or an
@@ -452,8 +604,12 @@ func (qp *QP) postRead(wr SendWR) error {
 			qp.dev.stats.ReadsCompleted++
 			qp.complete(qp.cfg.SendCQ, CQE{QPN: qp.qpn, WRID: wr.ID, Op: OpRead, Bytes: wr.Len})
 		}
+		// A lost response is retransmitted by the responder NIC; each leg
+		// carries its own retry_cnt budget.
+		qp.armRetry(resp, wr.ID, OpRead)
 		net.Transmit(resp)
 	}
+	qp.armRetry(req, wr.ID, OpRead)
 	net.Transmit(req)
 	return nil
 }
@@ -498,6 +654,7 @@ func (qp *QP) postWrite(p *sim.Proc, wr SendWR) error {
 			qp.complete(qp.cfg.SendCQ, CQE{QPN: qp.qpn, WRID: wr.ID, Op: OpWrite, Bytes: wr.Len})
 		})
 	}
+	qp.armRetry(msg, wr.ID, OpWrite)
 	net.Transmit(msg)
 	return nil
 }

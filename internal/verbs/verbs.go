@@ -32,6 +32,53 @@ var (
 	ErrNotConnected = errors.New("verbs: RC queue pair not connected")
 	ErrBadOp        = errors.New("verbs: operation not supported by transport")
 	ErrOutOfRange   = errors.New("verbs: access outside memory region")
+	// ErrQPError is returned by the posting verbs once the queue pair has
+	// transitioned to the Error state; outstanding work has been flushed.
+	ErrQPError = errors.New("verbs: queue pair in error state")
+)
+
+// WCStatus is a work completion status, mirroring ibv_wc_status. The zero
+// value is success, so completions constructed by healthy paths need no
+// explicit status.
+type WCStatus int
+
+const (
+	// WCSuccess marks a successfully completed work request.
+	WCSuccess WCStatus = iota
+	// WCRNRRetryExceeded marks a Send whose peer kept answering RNR NAK
+	// (no posted receive) past the QP's rnr_retry budget.
+	WCRNRRetryExceeded
+	// WCRetryExceeded marks a work request whose transport-level retries
+	// (lost packets, missing ACKs, dead peer) exceeded retry_cnt.
+	WCRetryExceeded
+	// WCFlushErr marks a work request flushed unexecuted because its QP
+	// entered the Error state (IBV_WC_WR_FLUSH_ERR).
+	WCFlushErr
+)
+
+func (s WCStatus) String() string {
+	switch s {
+	case WCSuccess:
+		return "success"
+	case WCRNRRetryExceeded:
+		return "RNR retry exceeded"
+	case WCRetryExceeded:
+		return "transport retry exceeded"
+	case WCFlushErr:
+		return "WR flushed"
+	}
+	return "unknown"
+}
+
+// QPState is the queue pair state: Ready (RTS) or Error.
+type QPState int
+
+const (
+	// QPReady is the normal operating state (collapsing INIT/RTR/RTS).
+	QPReady QPState = iota
+	// QPError is entered on retry exhaustion; outstanding WRs are flushed
+	// with WCFlushErr and further posts fail with ErrQPError.
+	QPError
 )
 
 // Device is a per-node verbs context (the result of ibv_open_device).
@@ -67,6 +114,10 @@ type DeviceStats struct {
 	RecvsCompleted  int64
 	ReadsCompleted  int64
 	WritesCompleted int64
+	// TransportRetries counts RC packets retransmitted after an injected
+	// loss; QPErrors counts queue pairs that entered the Error state.
+	TransportRetries int64
+	QPErrors         int64
 }
 
 // Open returns the verbs context for the given node.
@@ -204,6 +255,9 @@ type CQE struct {
 	WRID  uint64
 	Op    Opcode
 	Bytes int
+	// Status reports how the work request completed; the zero value is
+	// WCSuccess. Consumers must check it before trusting Bytes or Imm.
+	Status WCStatus
 	// Imm carries the immediate data of the Send that produced a receive
 	// completion, when HasImm is set.
 	Imm    uint32
@@ -212,6 +266,15 @@ type CQE struct {
 	// they come from the datagram's address header).
 	SrcNode int
 	SrcQPN  uint32
+}
+
+// Err returns nil for successful completions and a descriptive error for
+// failed ones.
+func (e CQE) Err() error {
+	if e.Status == WCSuccess {
+		return nil
+	}
+	return fmt.Errorf("verbs: %s wr %d on qp %d failed: %s", e.Op, e.WRID, e.QPN, e.Status)
 }
 
 // CQ is a completion queue.
@@ -236,6 +299,15 @@ func (cq *CQ) push(e CQE) {
 	if len(cq.entries) >= cq.cap {
 		panic(fmt.Sprintf("verbs: CQ overrun on node %d (cap %d)", cq.dev.node, cq.cap))
 	}
+	cq.entries = append(cq.entries, e)
+	cq.cond.Broadcast()
+}
+
+// pushFlush delivers an error completion generated while flushing a QP.
+// Flushes may momentarily exceed the CQ capacity (the whole receive queue
+// errors out at once); real hardware reports these through the same CQ, and
+// panicking here would turn a survivable fault into a crash.
+func (cq *CQ) pushFlush(e CQE) {
 	cq.entries = append(cq.entries, e)
 	cq.cond.Broadcast()
 }

@@ -7,6 +7,7 @@
 //	shufflebench -list
 //	shufflebench -exp fig10,fig12
 //	shufflebench -exp all -full -out results.txt
+//	shufflebench -chaos
 package main
 
 import (
@@ -17,16 +18,20 @@ import (
 	"strings"
 	"time"
 
+	"rshuffle/internal/cluster"
 	"rshuffle/internal/experiments"
+	"rshuffle/internal/fabric"
+	"rshuffle/internal/shuffle"
 )
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list available experiments and exit")
-		exp  = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
-		full = flag.Bool("full", false, "paper-grade data volumes (slower, smoother numbers)")
-		out  = flag.String("out", "", "also write the report to this file")
-		seed = flag.Int64("seed", 42, "simulation seed")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+		exp   = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
+		full  = flag.Bool("full", false, "paper-grade data volumes (slower, smoother numbers)")
+		out   = flag.String("out", "", "also write the report to this file")
+		seed  = flag.Int64("seed", 42, "simulation seed")
+		chaos = flag.Bool("chaos", false, "run the fault-injection matrix instead of the experiments")
 	)
 	flag.Parse()
 
@@ -46,6 +51,14 @@ func main() {
 		}
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *chaos {
+		if err := runChaosMatrix(w, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	names := strings.Split(*exp, ",")
@@ -78,4 +91,47 @@ func main() {
 		}
 		fmt.Fprintf(w, "  (%s completed in %v wall time)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runChaosMatrix runs every Table 1 algorithm under every fault scenario —
+// transient, persistent, and crash-stop — and prints one outcome row per
+// cell. With a fixed seed the table is bit-for-bit reproducible.
+func runChaosMatrix(w io.Writer, seed int64) error {
+	opts := cluster.ChaosOpts{
+		Prof: fabric.FDR(), Nodes: 3, Threads: 2,
+		RowsPerNode: 8192, Seed: seed,
+		Policy: cluster.RecoveryPolicy{
+			MaxRestarts: 2,
+			BaseBackoff: 500 * time.Microsecond,
+			MaxBackoff:  2 * time.Millisecond,
+		},
+	}
+	faults := append(cluster.ChaosFaults(), cluster.ChaosCrashFaults()...)
+	fmt.Fprintf(w, "chaos matrix: %d nodes, %d rows/node, seed %d (restarts<=%d)\n\n",
+		opts.Nodes, opts.RowsPerNode, seed, opts.Policy.MaxRestarts)
+	fmt.Fprintf(w, "%-9s %-13s %-9s %8s %7s %8s %5s %10s  %s\n",
+		"alg", "fault", "outcome", "restarts", "members", "rows", "det", "maxdetect", "error")
+	for _, alg := range shuffle.Algorithms {
+		for _, f := range faults {
+			o, err := cluster.RunChaos(alg, f, opts)
+			if err != nil {
+				return fmt.Errorf("%s/%s: simulation failed: %v", alg.Name, f.Name, err)
+			}
+			outcome := "ok"
+			if o.Failed {
+				outcome = "exhausted"
+			}
+			maxDet := "-"
+			if o.MaxDetect > 0 {
+				maxDet = o.MaxDetect.String()
+			}
+			errText := ""
+			if o.Failed {
+				errText = o.Err
+			}
+			fmt.Fprintf(w, "%-9s %-13s %-9s %8d %7d %8d %5d %10s  %s\n",
+				alg.Name, f.Name, outcome, o.Restarts, o.Members, o.Rows, o.Detections, maxDet, errText)
+		}
+	}
+	return nil
 }

@@ -23,6 +23,15 @@ import (
 type ChaosFault struct {
 	Name    string
 	Install func(c *Cluster, attempt int)
+	// Crash marks a crash-stop scenario: RunChaos arms the heartbeat
+	// failure detector and recovers through MembershipRecovery, so the
+	// restart runs on the surviving membership instead of retrying the full
+	// cluster against a dead node.
+	Crash bool
+	// Groups overrides the transmission pattern per cluster size; nil means
+	// repartition. Crash scenarios use it to re-plan broadcast trees over
+	// the survivors.
+	Groups func(n int) shuffle.Groups
 }
 
 // ChaosFaults returns the standard fault matrix of the chaos harness. The
@@ -33,7 +42,7 @@ func ChaosFaults() []ChaosFault {
 		// Deterministically swallow a few datagrams into node 1: the UD
 		// designs detect the count mismatch (§4.4.2) and restart; the RC
 		// designs carry no UD traffic and pass untouched.
-		{"ud-loss", func(c *Cluster, attempt int) {
+		{Name: "ud-loss", Install: func(c *Cluster, attempt int) {
 			if attempt > 0 {
 				return
 			}
@@ -45,7 +54,7 @@ func ChaosFaults() []ChaosFault {
 		// sender NICs retransmit until retry_cnt is exhausted, the Queue
 		// Pairs enter the Error state, and the fragments fail over to a
 		// restart. UD traffic is unaffected.
-		{"rc-outage", func(c *Cluster, attempt int) {
+		{Name: "rc-outage", Install: func(c *Cluster, attempt int) {
 			if attempt > 0 {
 				return
 			}
@@ -55,14 +64,14 @@ func ChaosFaults() []ChaosFault {
 		}},
 		// Quarter the bandwidth of every link into node 1 for the whole
 		// run: the query must still complete, only slower.
-		{"degrade", func(c *Cluster, attempt int) {
+		{Name: "degrade", Install: func(c *Cluster, attempt int) {
 			c.Net.Faults().Add(fabric.FaultRule{
 				Class: fabric.FaultDegrade, From: fabric.AnyNode, To: 1, Factor: 0.25,
 			})
 		}},
 		// Freeze node 0's NIC for 300us out of every 2ms — a GC-like
 		// straggler. Lossless, so the query completes without restarts.
-		{"pause", func(c *Cluster, attempt int) {
+		{Name: "pause", Install: func(c *Cluster, attempt int) {
 			c.Net.Faults().Add(fabric.FaultRule{
 				Class: fabric.FaultPause, From: fabric.AnyNode, To: 0,
 				Period: 2 * time.Millisecond, OnFor: 300 * time.Microsecond,
@@ -72,7 +81,7 @@ func ChaosFaults() []ChaosFault {
 		// packets sent inside a 120us outage burst are lost and retried
 		// 400us later, outside the burst, so the NIC-level recovery usually
 		// absorbs the fault without erroring the QP.
-		{"flap", func(c *Cluster, attempt int) {
+		{Name: "flap", Install: func(c *Cluster, attempt int) {
 			if attempt > 0 {
 				return
 			}
@@ -85,11 +94,53 @@ func ChaosFaults() []ChaosFault {
 		// Corrupt one packet of the next five RC messages into node 1: the
 		// link-level CRC catches each one and the retransmit costs a packet
 		// serialization plus a round trip — invisible above the fabric.
-		{"corrupt", func(c *Cluster, attempt int) {
+		{Name: "corrupt", Install: func(c *Cluster, attempt int) {
 			c.Net.Faults().Add(fabric.FaultRule{
 				Class: fabric.FaultCorrupt, From: fabric.AnyNode, To: 1, Count: 5,
 			})
 		}},
+	}
+}
+
+// ChaosCrashFaults returns the crash-stop scenarios: a node's NIC dies
+// permanently (control lane included) and the cluster must detect it,
+// tear down the affected connections, and finish on the survivors. The
+// crash arms only attempt 0 — the restarted query excludes the dead node,
+// so the fault has nothing left to hit.
+func ChaosCrashFaults() []ChaosFault {
+	// midStream arms the crash a moment after the query starts streaming
+	// (AtBenchStart), since the absolute setup cost varies per algorithm.
+	midStream := func(victim int) func(c *Cluster, attempt int) {
+		return func(c *Cluster, attempt int) {
+			if attempt > 0 {
+				return
+			}
+			c.AtBenchStart(func() {
+				c.Net.Faults().Add(fabric.FaultRule{
+					Class: fabric.FaultCrash, To: victim,
+					Start: c.Sim.Now().Add(40 * time.Microsecond),
+				})
+			})
+		}
+	}
+	return []ChaosFault{
+		// Node 1 is dead before connection setup even begins: no data ever
+		// flows to or from it, and the survivors' first sends block on
+		// credit until the detector declares it down.
+		{Name: "crash-setup", Crash: true, Install: func(c *Cluster, attempt int) {
+			if attempt > 0 {
+				return
+			}
+			c.Net.Faults().Add(fabric.FaultRule{Class: fabric.FaultCrash, To: 1})
+		}},
+		// Node 1 dies while the shuffle is streaming: in-flight messages to
+		// and from it vanish and every endpoint pair involving it must
+		// drain partially-transferred state.
+		{Name: "crash-stream", Crash: true, Install: midStream(1)},
+		// A broadcast root dies mid-stream: every survivor both loses a
+		// source and loses a destination of its own broadcast, and the
+		// restart re-plans the broadcast group over the survivors.
+		{Name: "crash-root", Crash: true, Install: midStream(0), Groups: shuffle.Broadcast},
 	}
 }
 
@@ -100,6 +151,9 @@ type ChaosOpts struct {
 	RowsPerNode    int
 	Seed           int64
 	Policy         RecoveryPolicy
+	// Detector parameterizes the failure detector for crash scenarios; the
+	// zero value selects the defaults (500us period, 3 missed beats).
+	Detector DetectorConfig
 }
 
 // ChaosOutcome is the deterministic summary of one chaos run: with equal
@@ -118,6 +172,14 @@ type ChaosOutcome struct {
 	// attempt and backoff.
 	Elapsed      sim.Duration
 	TotalVirtual sim.Duration
+	// Members is the surviving-membership size of the final attempt (equal
+	// to Nodes unless a crash shrank the cluster).
+	Members int
+	// Detections counts failure-detector suspicion events across all
+	// attempts; MaxDetect is the worst crash-to-suspicion latency. Both are
+	// zero for non-crash scenarios.
+	Detections int
+	MaxDetect  sim.Duration
 }
 
 // RunChaos runs one algorithm under one fault scenario with the given
@@ -131,18 +193,34 @@ func RunChaos(alg shuffle.Algorithm, fault ChaosFault, o ChaosOpts) (ChaosOutcom
 	// interactive-scale defaults.
 	cfg.DepletedTimeout = 10 * time.Millisecond
 	cfg.StallTimeout = 120 * time.Millisecond
-	mk := func(attempt int) *Cluster {
-		c := New(o.Prof, o.Nodes, o.Threads, o.Seed)
-		fault.Install(c, attempt)
-		return c
+	out := ChaosOutcome{Alg: alg.Name, Fault: fault.Name, Members: o.Nodes}
+	bopts := BenchOpts{Factory: RDMAProvider(cfg), RowsPerNode: o.RowsPerNode, GroupsFn: fault.Groups}
+	var r *RecoveryResult
+	var err error
+	if fault.Crash {
+		mr := MembershipRecovery{Policy: o.Policy, Detector: o.Detector}
+		r, err = mr.Run(o.Nodes, func(attempt, members int) *Cluster {
+			c := New(o.Prof, members, o.Threads, o.Seed)
+			fault.Install(c, attempt)
+			return c
+		}, bopts)
+	} else {
+		r, err = o.Policy.Run(func(attempt int) *Cluster {
+			c := New(o.Prof, o.Nodes, o.Threads, o.Seed)
+			fault.Install(c, attempt)
+			return c
+		}, bopts)
 	}
-	out := ChaosOutcome{Alg: alg.Name, Fault: fault.Name}
-	r, err := o.Policy.Run(mk, BenchOpts{Factory: RDMAProvider(cfg), RowsPerNode: o.RowsPerNode})
 	if err != nil && !errors.Is(err, ErrRecoveryExhausted) {
 		return out, err
 	}
 	out.Restarts = r.Restarts
 	out.TotalVirtual = r.TotalVirtual
+	out.Detections = r.Detections
+	out.MaxDetect = r.MaxDetect
+	if n := len(r.Attempts); n > 0 && r.Attempts[n-1].Membership != nil {
+		out.Members = len(r.Attempts[n-1].Membership)
+	}
 	if r.BenchResult != nil {
 		out.Elapsed = r.Elapsed
 		for _, n := range r.RowsPerNode {

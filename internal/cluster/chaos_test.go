@@ -8,6 +8,7 @@ import (
 
 	"rshuffle/internal/fabric"
 	"rshuffle/internal/shuffle"
+	"rshuffle/internal/sim"
 )
 
 func chaosOpts() ChaosOpts {
@@ -64,6 +65,125 @@ func TestChaosMatrix(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestChaosCrashMatrix runs every Table 1 algorithm under every crash-stop
+// scenario twice with the same seed. A crash must (a) never panic or
+// deadlock the simulation, (b) be detected by the heartbeat detector within
+// the documented (Suspect+2)*Period bound — not by waiting out an endpoint
+// stall timeout — (c) force exactly one membership-shrinking restart that
+// completes on the survivors with the full surviving-membership row totals,
+// and (d) yield bitwise identical outcomes on a repeat run.
+func TestChaosCrashMatrix(t *testing.T) {
+	opts := chaosOpts()
+	period := 500 * time.Microsecond
+	opts.Detector = DetectorConfig{Period: period, Suspect: 3}
+	for _, alg := range shuffle.Algorithms {
+		for _, f := range ChaosCrashFaults() {
+			alg, f := alg, f
+			t.Run(alg.Name+"/"+f.Name, func(t *testing.T) {
+				o1, err := RunChaos(alg, f, opts)
+				if err != nil {
+					t.Fatalf("simulation failed: %v", err)
+				}
+				o2, err := RunChaos(alg, f, opts)
+				if err != nil {
+					t.Fatalf("simulation failed on repeat: %v", err)
+				}
+				if o1 != o2 {
+					t.Fatalf("nondeterministic outcome:\n  %+v\n  %+v", o1, o2)
+				}
+				if o1.Failed {
+					t.Fatalf("recovery did not converge: %s", o1.Err)
+				}
+				if o1.Restarts == 0 {
+					t.Fatalf("a crash must force a restart: %+v", o1)
+				}
+				survivors := opts.Nodes - 1
+				if o1.Members != survivors {
+					t.Fatalf("final membership = %d, want %d survivors", o1.Members, survivors)
+				}
+				want := int64(survivors) * int64(opts.RowsPerNode)
+				if f.Groups != nil { // broadcast: every survivor gets every row
+					want *= int64(survivors)
+				}
+				if o1.Rows != want {
+					t.Fatalf("rows = %d, want %d on the surviving membership", o1.Rows, want)
+				}
+				if o1.Detections == 0 {
+					t.Fatalf("crash went undetected: %+v", o1)
+				}
+				bound := sim.Duration(opts.Detector.Suspect+2) * period
+				if o1.MaxDetect <= 0 || o1.MaxDetect > bound {
+					t.Fatalf("detection latency %v outside (0, %v]", o1.MaxDetect, bound)
+				}
+			})
+		}
+	}
+}
+
+// TestChaosCrashExhaustsDiagnosably disallows restarts entirely: the crash
+// attempt's error must surface as a diagnosable ErrPeerFailed chain naming
+// the dead node, wrapped in ErrRecoveryExhausted — never a bare stall.
+func TestChaosCrashExhaustsDiagnosably(t *testing.T) {
+	opts := chaosOpts()
+	opts.Policy.MaxRestarts = 0
+	alg := shuffle.Algorithms[0]
+	o, err := RunChaos(alg, ChaosCrashFaults()[0], opts)
+	if err != nil {
+		t.Fatalf("simulation failed: %v", err)
+	}
+	if !o.Failed {
+		t.Fatalf("crash with no restart budget must fail: %+v", o)
+	}
+	if !strings.Contains(o.Err, "recovery exhausted") || !strings.Contains(o.Err, "peer node failed") {
+		t.Fatalf("terminal error not diagnosable: %q", o.Err)
+	}
+	// The only attempt ran on full membership; the detected death shows up
+	// in the detector metrics, not a shrunken final membership.
+	if o.Members != opts.Nodes || o.Detections == 0 {
+		t.Fatalf("detection bookkeeping wrong: %+v", o)
+	}
+}
+
+// TestMembershipRecoveryAttempts pins the bookkeeping of a crash recovery:
+// attempt 0 on full membership fails with ErrPeerFailed, attempt 1 runs on
+// the survivors and succeeds.
+func TestMembershipRecoveryAttempts(t *testing.T) {
+	mr := MembershipRecovery{
+		Policy:   RecoveryPolicy{MaxRestarts: 2, BaseBackoff: time.Millisecond},
+		Detector: DetectorConfig{},
+	}
+	cfg := shuffle.Config{Impl: shuffle.MQSR, Endpoints: 2, DepletedTimeout: 10 * time.Millisecond,
+		StallTimeout: 120 * time.Millisecond}
+	r, err := mr.Run(3, func(attempt, members int) *Cluster {
+		c := New(fabric.FDR(), members, 2, 11)
+		if attempt == 0 {
+			c.Net.Faults().Add(fabric.FaultRule{Class: fabric.FaultCrash, To: 1})
+		}
+		return c
+	}, BenchOpts{Factory: RDMAProvider(cfg), RowsPerNode: 4096})
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if r.Restarts != 1 || len(r.Attempts) != 2 {
+		t.Fatalf("restarts = %d attempts = %d, want 1 and 2", r.Restarts, len(r.Attempts))
+	}
+	if !errors.Is(r.Attempts[0].Err, shuffle.ErrPeerFailed) {
+		t.Fatalf("attempt 0 error = %v, want ErrPeerFailed", r.Attempts[0].Err)
+	}
+	if got := r.Attempts[0].Membership; len(got) != 3 {
+		t.Fatalf("attempt 0 membership = %v, want the full cluster", got)
+	}
+	if got := r.Attempts[1].Membership; len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("attempt 1 membership = %v, want [0 2]", got)
+	}
+	if r.Attempts[1].Err != nil || r.Attempts[1].Backoff != time.Millisecond {
+		t.Fatalf("attempt 1 = %+v, want success after 1ms backoff", r.Attempts[1])
+	}
+	if r.Detections == 0 || r.MaxDetect <= 0 {
+		t.Fatalf("detector metrics missing: %+v", r)
 	}
 }
 

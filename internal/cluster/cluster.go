@@ -23,7 +23,20 @@ type Cluster struct {
 	Devs    []*verbs.Device
 	N       int
 	Threads int
+	// FD is the heartbeat failure detector, when one is installed
+	// (InstallDetector). RunBench stops it once the query completes.
+	FD *Detector
+	// onBenchStart callbacks run when RunBench finishes transport setup and
+	// the query proper starts streaming. Fault harnesses use it to arm
+	// faults relative to the streaming phase, whose absolute start varies
+	// with the per-algorithm connection setup cost.
+	onBenchStart []func()
 }
+
+// AtBenchStart registers a callback to run at the instant RunBench starts
+// streaming (after transport setup). Callbacks run inside the benchmark
+// Proc and must not block.
+func (c *Cluster) AtBenchStart(f func()) { c.onBenchStart = append(c.onBenchStart, f) }
 
 // New boots a cluster of nodes over the given hardware profile. threads <= 0
 // selects the profile's default thread count.
@@ -124,6 +137,10 @@ type BenchOpts struct {
 	Passes int
 	// Groups is the transmission pattern; nil means repartition.
 	Groups shuffle.Groups
+	// GroupsFn derives the transmission pattern from the cluster size when
+	// Groups is nil; membership-aware recovery uses it so a restart on a
+	// shrunken cluster re-plans the pattern over the survivors.
+	GroupsFn func(n int) shuffle.Groups
 	// BurnPerBatch makes the receiving fragment compute-intensive (Fig. 13).
 	BurnPerBatch sim.Duration
 	// ReceiveBatchBytes sets the receiving fragment's pull granularity when
@@ -206,6 +223,9 @@ func (c *Cluster) RunBench(opts BenchOpts) (*BenchResult, error) {
 		opts.Passes = 1
 	}
 	groups := opts.Groups
+	if groups == nil && opts.GroupsFn != nil {
+		groups = opts.GroupsFn(c.N)
+	}
 	if groups == nil {
 		groups = shuffle.Repartition(c.N)
 	}
@@ -236,6 +256,9 @@ func (c *Cluster) RunBench(opts BenchOpts) (*BenchResult, error) {
 			res.SetupTime, res.RegTime = sr.Setup()
 		}
 		start := p.Now()
+		for _, f := range c.onBenchStart {
+			f()
+		}
 		done := c.Sim.NewWaitGroup("bench")
 		sends := make([]*shuffle.Shuffle, c.N)
 		recvs := make([]*shuffle.Receive, c.N)
@@ -275,6 +298,9 @@ func (c *Cluster) RunBench(opts BenchOpts) (*BenchResult, error) {
 		}
 		c.Sim.Spawn("bench-join", func(p *sim.Proc) {
 			done.Wait(p)
+			if c.FD != nil {
+				c.FD.Stop()
+			}
 			res.Elapsed = p.Now().Sub(start)
 			if node0Burn != nil {
 				res.BurnBatches = node0Burn.Batches

@@ -1,0 +1,163 @@
+// Out-of-band failure detection. The connection manager of every node
+// exchanges heartbeats with every peer over the management lane; when a peer
+// stays silent past a suspicion threshold the detector declares it down and
+// tells the local verbs device (Device.NotifyPeerDown), which errors the
+// affected Queue Pairs and lets the shuffle endpoints drain. Crash-stop
+// outages are therefore detected in a few heartbeat periods of virtual time
+// instead of waiting for an endpoint stall timeout.
+package cluster
+
+import (
+	"time"
+
+	"rshuffle/internal/sim"
+)
+
+// DetectorConfig parameterizes the heartbeat failure detector in virtual
+// time.
+type DetectorConfig struct {
+	// Period is the heartbeat interval; zero selects 500us.
+	Period sim.Duration
+	// Suspect is the number of consecutive missed periods after which a
+	// silent peer is declared down; zero selects 3. Detection latency is
+	// bounded by (Suspect+2)*Period.
+	Suspect int
+	// Horizon stops the detector after this much virtual time as a backstop
+	// so a wedged run still surfaces as a simulation deadlock instead of
+	// ticking forever; zero selects 1s. Benchmarks stop the detector as soon
+	// as the query completes, long before the horizon.
+	Horizon sim.Duration
+}
+
+func (cfg DetectorConfig) defaulted() DetectorConfig {
+	if cfg.Period <= 0 {
+		cfg.Period = 500 * time.Microsecond
+	}
+	if cfg.Suspect <= 0 {
+		cfg.Suspect = 3
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = time.Second
+	}
+	return cfg
+}
+
+// Detector is the cluster-wide heartbeat failure detector. Heartbeats ride
+// the management lane (the same out-of-band channel the connection setup
+// uses), so they share the crash fate of the NIC: a FaultCrash silences a
+// node's heartbeats exactly when it silences its data traffic. The exchange
+// is evaluated analytically against the fault plan at every tick rather
+// than as fabric messages, keeping the data path untouched; transient
+// faults (pause, loss, degradation) are shorter than any realistic
+// suspicion threshold and never silence the modeled heartbeats.
+type Detector struct {
+	cfg DetectorConfig
+	c   *Cluster
+
+	// lastHeard[i][j] is the last tick at which node i heard node j's
+	// heartbeat; suspected[i][j] latches i's suspicion of j.
+	lastHeard [][]sim.Time
+	suspected [][]bool
+	stopped   bool
+
+	// Detections counts suspicion events across all node pairs.
+	Detections int
+	// MaxDetectionLatency is the worst gap between a node's actual crash
+	// time and a survivor suspecting it.
+	MaxDetectionLatency sim.Duration
+}
+
+// InstallDetector arms a heartbeat failure detector on the cluster and
+// starts it ticking immediately (first tick one period into the run). Call
+// before RunBench; the benchmark stops the detector once the query
+// completes.
+func (c *Cluster) InstallDetector(cfg DetectorConfig) *Detector {
+	cfg = cfg.defaulted()
+	d := &Detector{cfg: cfg, c: c}
+	d.lastHeard = make([][]sim.Time, c.N)
+	d.suspected = make([][]bool, c.N)
+	for i := 0; i < c.N; i++ {
+		d.lastHeard[i] = make([]sim.Time, c.N)
+		d.suspected[i] = make([]bool, c.N)
+	}
+	c.FD = d
+	d.schedule()
+	return d
+}
+
+// Stop halts the heartbeat exchange; the already-scheduled tick becomes a
+// no-op and nothing further is scheduled.
+func (d *Detector) Stop() { d.stopped = true }
+
+func (d *Detector) schedule() {
+	d.c.Sim.After(d.cfg.Period, func() {
+		if d.stopped {
+			return
+		}
+		d.step()
+		if d.c.Sim.Now().Sub(0) < d.cfg.Horizon {
+			d.schedule()
+		}
+	})
+}
+
+// step evaluates one heartbeat round: every pair exchanges a heartbeat
+// unless the fault plan has crashed the sender (at send time) or the
+// listener (now), then silent pairs past the suspicion threshold are
+// declared down.
+func (d *Detector) step() {
+	now := d.c.Sim.Now()
+	net := d.c.Net
+	wire := net.Prof.PropagationDelay + net.Prof.SwitchDelay
+	sent := now.Add(-wire)
+	if sent < 0 {
+		sent = 0
+	}
+	threshold := sim.Duration(d.cfg.Suspect) * d.cfg.Period
+	for i := 0; i < d.c.N; i++ {
+		listening := !net.Crashed(i, now)
+		for j := 0; j < d.c.N; j++ {
+			if i == j {
+				continue
+			}
+			if listening && !net.Crashed(j, sent) {
+				d.lastHeard[i][j] = now
+				continue
+			}
+			if d.suspected[i][j] || now.Sub(d.lastHeard[i][j]) <= threshold {
+				continue
+			}
+			d.suspected[i][j] = true
+			d.Detections++
+			if ct, ok := net.CrashTime(j); ok && ct <= now {
+				if lat := now.Sub(ct); lat > d.MaxDetectionLatency {
+					d.MaxDetectionLatency = lat
+				}
+			}
+			d.c.Devs[i].NotifyPeerDown(j)
+		}
+	}
+}
+
+// Dead returns the nodes a majority of the cluster suspects, in node order.
+// A single crashed node is always in the set once detected (its survivors
+// all suspect it), while the crashed node's own suspicions of everyone else
+// — it hears nothing once its NIC dies — never reach a majority.
+func (d *Detector) Dead() []int {
+	var dead []int
+	for j := 0; j < d.c.N; j++ {
+		votes := 0
+		for i := 0; i < d.c.N; i++ {
+			if i != j && d.suspected[i][j] {
+				votes++
+			}
+		}
+		if 2*votes > d.c.N {
+			dead = append(dead, j)
+		}
+	}
+	return dead
+}
+
+// Suspected reports whether node i currently suspects node j.
+func (d *Detector) Suspected(i, j int) bool { return d.suspected[i][j] }

@@ -40,6 +40,11 @@ type Attempt struct {
 	Elapsed sim.Duration
 	// Err is the attempt's transport error; nil for a successful attempt.
 	Err error
+	// Membership lists the original node ids the attempt ran on. Plain
+	// RecoveryPolicy runs leave it nil (full membership every attempt);
+	// MembershipRecovery shrinks it as the failure detector declares nodes
+	// dead.
+	Membership []int
 }
 
 // RecoveryResult reports a query run under a RecoveryPolicy.
@@ -54,6 +59,11 @@ type RecoveryResult struct {
 	// backoffs. Each attempt runs on its own single-use Simulation, so this
 	// is the accounting sum, not one clock reading.
 	TotalVirtual sim.Duration
+	// Detections and MaxDetect aggregate the failure detector across all
+	// attempts (MembershipRecovery only): total suspicion events and the
+	// worst crash-to-suspicion latency.
+	Detections int
+	MaxDetect  sim.Duration
 }
 
 // backoff returns the delay before restart number restart (0-based).
@@ -79,12 +89,8 @@ func (pol RecoveryPolicy) backoff(restart int) sim.Duration {
 // raw simulation error (with a partial result) when a run fails outright.
 func (pol RecoveryPolicy) Run(mk func(attempt int) *Cluster, opts BenchOpts) (*RecoveryResult, error) {
 	r := &RecoveryResult{}
+	var backoff sim.Duration
 	for attempt := 0; ; attempt++ {
-		var backoff sim.Duration
-		if attempt > 0 {
-			backoff = pol.backoff(attempt - 1)
-			r.TotalVirtual += backoff
-		}
 		res, err := mk(attempt).RunBench(opts)
 		if err != nil {
 			// The simulation itself failed (e.g. an undetected protocol
@@ -99,13 +105,98 @@ func (pol RecoveryPolicy) Run(mk func(attempt int) *Cluster, opts BenchOpts) (*R
 		if res.Err == nil {
 			return r, nil
 		}
-		if attempt >= pol.MaxRestarts {
-			return r, fmt.Errorf("%w after %d attempt(s): %v",
+		backoff, err = pol.next(r, attempt, res.Err)
+		if err != nil {
+			return r, err
+		}
+	}
+}
+
+// next decides whether a further restart is allowed after failed attempt
+// number attempt. The deadline is checked BEFORE the backoff is charged or
+// the next attempt starts: a restart whose backoff alone would overrun the
+// deadline is never scheduled, so TotalVirtual stays within the budget
+// instead of overshooting by one backoff plus one attempt.
+func (pol RecoveryPolicy) next(r *RecoveryResult, attempt int, cause error) (sim.Duration, error) {
+	if attempt >= pol.MaxRestarts {
+		return 0, fmt.Errorf("%w after %d attempt(s): %v",
+			ErrRecoveryExhausted, attempt+1, cause)
+	}
+	b := pol.backoff(attempt)
+	if pol.Deadline > 0 && r.TotalVirtual+b >= pol.Deadline {
+		return 0, fmt.Errorf("%w: deadline %v spent after %d attempt(s): %v",
+			ErrRecoveryExhausted, pol.Deadline, attempt+1, cause)
+	}
+	r.TotalVirtual += b
+	return b, nil
+}
+
+// MembershipRecovery is the crash-aware recovery policy: every attempt runs
+// with a heartbeat failure detector armed, and when the detector declares
+// nodes dead the next attempt re-plans the query over the N-1 survivors
+// instead of retrying the full membership against a node that will never
+// answer.
+type MembershipRecovery struct {
+	Policy   RecoveryPolicy
+	Detector DetectorConfig
+}
+
+// Run executes the workload with membership-aware restarts. mk builds a
+// fresh cluster of the given size for each attempt (attempt 0 always gets n
+// nodes); opts.GroupsFn, when set, re-plans the transmission pattern for
+// the shrunken cluster. The error contract matches RecoveryPolicy.Run.
+func (mr MembershipRecovery) Run(n int, mk func(attempt, members int) *Cluster, opts BenchOpts) (*RecoveryResult, error) {
+	pol := mr.Policy
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	r := &RecoveryResult{}
+	var backoff sim.Duration
+	for attempt := 0; ; attempt++ {
+		c := mk(attempt, len(members))
+		fd := c.InstallDetector(mr.Detector)
+		res, err := c.RunBench(opts)
+		if err != nil {
+			r.Restarts = len(r.Attempts)
+			return r, err
+		}
+		r.BenchResult = res
+		r.TotalVirtual += res.Elapsed
+		r.Attempts = append(r.Attempts, Attempt{
+			Backoff: backoff, Elapsed: res.Elapsed, Err: res.Err,
+			Membership: append([]int(nil), members...),
+		})
+		r.Restarts = attempt
+		r.Detections += fd.Detections
+		if fd.MaxDetectionLatency > r.MaxDetect {
+			r.MaxDetect = fd.MaxDetectionLatency
+		}
+		if res.Err == nil {
+			return r, nil
+		}
+		// Shrink the membership by the nodes a majority suspects. The
+		// detector indexes this attempt's cluster; map back to original ids.
+		if dead := fd.Dead(); len(dead) > 0 {
+			gone := make(map[int]bool, len(dead))
+			for _, local := range dead {
+				gone[local] = true
+			}
+			var next []int
+			for local, orig := range members {
+				if !gone[local] {
+					next = append(next, orig)
+				}
+			}
+			members = next
+		}
+		if len(members) == 0 {
+			return r, fmt.Errorf("%w: no surviving members after %d attempt(s): %v",
 				ErrRecoveryExhausted, attempt+1, res.Err)
 		}
-		if pol.Deadline > 0 && r.TotalVirtual >= pol.Deadline {
-			return r, fmt.Errorf("%w: deadline %v spent after %d attempt(s): %v",
-				ErrRecoveryExhausted, pol.Deadline, attempt+1, res.Err)
+		backoff, err = pol.next(r, attempt, res.Err)
+		if err != nil {
+			return r, err
 		}
 	}
 }

@@ -124,6 +124,22 @@ func (n *Network) Stats(i int) NICStats { return n.nics[i].stats }
 // Faults exposes the network's fault schedule for installing rules.
 func (n *Network) Faults() *FaultPlan { return &n.faults }
 
+// Crashed reports whether node is crash-stopped at time at (a FaultCrash
+// rule names it with Start <= at). A crashed node's links are cut: nothing
+// it sends reaches the switch, nothing addressed to it is delivered. Its
+// NIC hairpin loopback still works — crash models a network-visible
+// failure, and local state on the dead node is unreachable anyway.
+func (n *Network) Crashed(node int, at sim.Time) bool {
+	if n.faults.Empty() {
+		return false
+	}
+	return n.faults.crashed(node, at)
+}
+
+// CrashTime returns the instant node crash-stops and whether a FaultCrash
+// rule names it at all, for failure detectors measuring detection latency.
+func (n *Network) CrashTime(node int) (sim.Time, bool) { return n.faults.crashTime(node) }
+
 // InjectUDLoss forces the next k UD messages destined to node to be dropped,
 // for fault-injection tests. It is a convenience wrapper over a
 // deterministic count rule in the fault plan (no RNG draws).
@@ -228,6 +244,14 @@ func (n *Network) Transmit(m *Message) {
 	// the incast bottleneck: simultaneous senders queue here.
 	arrive := txDone.Add(prof.SwitchDelay + prof.PropagationDelay)
 	n.Sim.At(arrive, func() {
+		// A crash-stopped endpoint kills the message on the wire regardless of
+		// class: unlike FaultRCLoss this also swallows infrastructure
+		// transfers (nil Dropped), exactly as a dead port would. The sender's
+		// crash is judged at serialization time, the receiver's at arrival.
+		if !lost && !n.faults.Empty() &&
+			(n.faults.crashed(m.From, now) || n.faults.crashed(m.To, n.Sim.Now())) {
+			lost = true
+		}
 		if lost {
 			if m.Service == UD {
 				dst.stats.UDDropped++
@@ -313,17 +337,23 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 		n.Sim.At(txDone, func() { m.Sent(n.Sim.Now()) })
 	}
 
+	// A crashed sender's packet never reaches the switch: no member — not
+	// even the sender's own switch-loopback copy — sees it.
+	senderCrashed := !n.faults.Empty() && n.faults.crashed(m.From, now)
 	for _, d := range dests {
 		d := d
 		if d == m.From {
+			if senderCrashed {
+				continue
+			}
 			// The switch loops the packet back to an attached sender port.
 			n.Sim.At(txDone, func() { deliver(d, n.Sim.Now()) })
 			continue
 		}
-		lost := false
-		if !n.faults.Empty() && n.faults.drop(FaultUDLoss, m.From, d, now) {
+		lost := senderCrashed
+		if !lost && !n.faults.Empty() && n.faults.drop(FaultUDLoss, m.From, d, now) {
 			lost = true
-		} else if prof.UDLossRate > 0 && n.Sim.Rand().Float64() < prof.UDLossRate {
+		} else if !lost && prof.UDLossRate > 0 && n.Sim.Rand().Float64() < prof.UDLossRate {
 			lost = true
 		}
 		var jitter sim.Duration
@@ -333,6 +363,9 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 		dst := n.nics[d]
 		arrive := txDone.Add(prof.SwitchDelay + prof.PropagationDelay)
 		n.Sim.At(arrive, func() {
+			if !lost && !n.faults.Empty() && n.faults.crashed(d, n.Sim.Now()) {
+				lost = true // dead member port: the replicated copy vanishes
+			}
 			if lost {
 				dst.stats.UDDropped++
 				if m.Dropped != nil {

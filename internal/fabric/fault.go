@@ -33,6 +33,12 @@ const (
 	// message may start serializing on its uplink or downlink during the
 	// pause window. Periodic pauses model stragglers and GC-like stalls.
 	FaultPause
+	// FaultCrash permanently silences a node (rule field To names the node)
+	// from Start on: every link to and from it is cut, so all traffic —
+	// including control-lane and infrastructure transfers that other fault
+	// classes spare — vanishes on the wire. Unlike FaultPause the node never
+	// comes back; the rule admits no End, Period, OnFor, Rate or Count.
+	FaultCrash
 )
 
 func (c FaultClass) String() string {
@@ -47,6 +53,8 @@ func (c FaultClass) String() string {
 		return "degrade"
 	case FaultPause:
 		return "pause"
+	case FaultCrash:
+		return "crash"
 	}
 	return "unknown"
 }
@@ -144,6 +152,20 @@ func (p *FaultPlan) Add(r FaultRule) *FaultRule {
 	if r.Class == FaultDegrade && (r.Factor <= 0 || r.Factor > 1) {
 		panic("fabric: FaultDegrade requires 0 < Factor <= 1")
 	}
+	if r.Class == FaultPause && r.End == 0 && r.OnFor <= 0 {
+		// windowEnd has no finite bound for such a rule, so pausedUntil would
+		// have to either ignore it (the node silently stays up) or loop
+		// forever; a node that never comes back is FaultCrash.
+		panic("fabric: open-ended FaultPause requires End or OnFor (use FaultCrash for a permanent outage)")
+	}
+	if r.Class == FaultCrash {
+		if r.To == AnyNode {
+			panic("fabric: FaultCrash requires a concrete To node")
+		}
+		if r.End != 0 || r.Period != 0 || r.OnFor != 0 || r.Rate != 0 || r.Count != 0 {
+			panic("fabric: FaultCrash is permanent and unconditional; End/Period/OnFor/Rate/Count must be zero")
+		}
+	}
 	rule := &r
 	p.rules = append(p.rules, rule)
 	return rule
@@ -213,6 +235,33 @@ func (p *FaultPlan) pausedUntil(node int, now sim.Time) sim.Time {
 		}
 	}
 	return t
+}
+
+// crashed reports whether node is crash-stopped at now.
+func (p *FaultPlan) crashed(node int, now sim.Time) bool {
+	for _, r := range p.rules {
+		if r.Class == FaultCrash && r.To == node && now >= r.Start {
+			return true
+		}
+	}
+	return false
+}
+
+// crashTime returns the instant node crash-stops (the earliest Start among
+// its FaultCrash rules) and whether any such rule exists.
+func (p *FaultPlan) crashTime(node int) (sim.Time, bool) {
+	var at sim.Time
+	found := false
+	for _, r := range p.rules {
+		if r.Class != FaultCrash || r.To != node {
+			continue
+		}
+		if !found || r.Start < at {
+			at = r.Start
+		}
+		found = true
+	}
+	return at, found
 }
 
 // windowEnd returns the end of the active window covering t (which must be

@@ -184,6 +184,36 @@ func Build(p *sim.Proc, devs []*verbs.Device, cfg Config, threads int) *Comm {
 		}
 	}
 
+	// Connection-manager wiring: when the failure detector declares a peer
+	// dead (Device.NotifyPeerDown), drain then close every endpoint of this
+	// node that involves it, so blocked SHUFFLE/RECEIVE calls terminate with
+	// ErrPeerFailed. Handlers run in scheduler context and must not block.
+	for a := 0; a < n; a++ {
+		node := c.Nodes[a]
+		node.Dev.OnPeerDown(func(peer int) {
+			for _, s := range node.Send {
+				if pd, ok := s.(PeerDrainer); ok {
+					pd.DrainPeer(peer)
+				}
+			}
+			for _, r := range node.Recv {
+				if pd, ok := r.(PeerDrainer); ok {
+					pd.DrainPeer(peer)
+				}
+			}
+			for _, s := range node.Send {
+				if pd, ok := s.(PeerDrainer); ok {
+					pd.ClosePeer(peer)
+				}
+			}
+			for _, r := range node.Recv {
+				if pd, ok := r.(PeerDrainer); ok {
+					pd.ClosePeer(peer)
+				}
+			}
+		})
+	}
+
 	// QP census (one side's send operator; Fig. 11 / Table 1).
 	switch cfg.Impl {
 	case SQSR:

@@ -59,10 +59,38 @@ type rdRCSend struct {
 
 	free    *sim.Queue[int]
 	pending map[int]int
+
+	// failed marks destinations declared dead by the connection manager;
+	// qpDest attributes completions to their connection.
+	failed []bool
+	qpDest map[uint32]int
 }
 
 func (e *rdRCSend) buf(off int) *Buf {
 	return &Buf{Data: e.mr.Buf[off+HeaderSize : off+e.cfg.BufSize], off: off}
+}
+
+// DrainPeer and ClosePeer implement PeerDrainer: a dead receiver never
+// returns buffers through FreeArr, so blocked GETFREE/FINISH calls wake and
+// fail with ErrPeerFailed.
+func (e *rdRCSend) DrainPeer(peer int) {
+	if peer >= 0 && peer < e.n {
+		e.failed[peer] = true
+	}
+}
+
+func (e *rdRCSend) ClosePeer(peer int) {
+	e.wcq.Kick()
+	e.dev.KickMemWaiters()
+}
+
+func (e *rdRCSend) anyFailed() (int, bool) {
+	for d, f := range e.failed {
+		if f {
+			return d, true
+		}
+	}
+	return 0, false
 }
 
 // harvest scans every FreeArr queue for buffers returned by receivers.
@@ -92,6 +120,9 @@ func (e *rdRCSend) reapWrites(p *sim.Proc) error {
 		n := e.gate.poll(p, e.wcq, es[:])
 		for _, c := range es[:n] {
 			if c.Status != verbs.WCSuccess {
+				if d, ok := e.qpDest[c.QPN]; ok && (c.Status == verbs.WCPeerDown || e.failed[d]) {
+					return peerFailedErr(d)
+				}
 				return wcErr(c)
 			}
 		}
@@ -114,6 +145,9 @@ func (e *rdRCSend) GetFree(p *sim.Proc) (*Buf, error) {
 		if off, ok := e.free.TryGet(); ok {
 			return e.buf(off), nil
 		}
+		if d, ok := e.anyFailed(); ok {
+			return nil, peerFailedErr(d)
+		}
 		if !e.dev.WaitMemChange(p, w.step()) {
 			if !w.idle() {
 				return nil, fmt.Errorf("%w: RD GetFree on node %d (%d buffers outstanding)",
@@ -129,6 +163,9 @@ func (e *rdRCSend) GetFree(p *sim.Proc) (*Buf, error) {
 // queue index is reserved before posting: PostSend can yield to another
 // thread sharing this endpoint, and two writers must never target one slot.
 func (e *rdRCSend) writeSlot(p *sim.Proc, dest int, word uint64) error {
+	if e.failed[dest] {
+		return peerFailedErr(dest)
+	}
 	idx := e.prod[dest]
 	e.prod[dest]++
 	// The staging slot mirrors the remote slot index: concurrent writers to
@@ -144,6 +181,9 @@ func (e *rdRCSend) writeSlot(p *sim.Proc, dest int, word uint64) error {
 		})
 		if err == nil {
 			return nil
+		}
+		if err == verbs.ErrPeerDown {
+			return peerFailedErr(dest)
 		}
 		if err != verbs.ErrSQFull {
 			return err
@@ -198,6 +238,9 @@ func (e *rdRCSend) Finish(p *sim.Proc) error {
 		if len(e.pending) == 0 {
 			break
 		}
+		if d, ok := e.anyFailed(); ok {
+			return peerFailedErr(d)
+		}
 		if !e.dev.WaitMemChange(p, w.step()) {
 			if !w.idle() {
 				return fmt.Errorf("%w: RD Finish flush (%d outstanding)", ErrStalled, len(e.pending))
@@ -243,6 +286,12 @@ type rdRCRecv struct {
 	ready        dataQueue
 	pendingFrees []pendingFree
 	depleted     int
+	depletedBy   []bool
+
+	// failed marks sources declared dead by the connection manager; qpSrc
+	// attributes completions to their connection.
+	failed []bool
+	qpSrc  map[uint32]int
 }
 
 type rdReadCtx struct {
@@ -252,10 +301,39 @@ type rdReadCtx struct {
 	depleted  bool
 }
 
+// DrainPeer and ClosePeer implement PeerDrainer: GETDATA stops issuing
+// reads against the dead sender's pool and fails once its stream is known
+// to be incomplete instead of waiting for ValidArr entries forever.
+func (e *rdRCRecv) DrainPeer(peer int) {
+	if peer >= 0 && peer < e.n {
+		e.failed[peer] = true
+	}
+}
+
+func (e *rdRCRecv) ClosePeer(peer int) {
+	e.ocq.Kick()
+	e.dev.KickMemWaiters()
+}
+
+// missingFailed returns a failed source whose stream is still incomplete.
+func (e *rdRCRecv) missingFailed() (int, bool) {
+	for s, f := range e.failed {
+		if f && !e.depletedBy[s] {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
 // issueReads converts consumable ValidArr entries into RDMA Read requests
 // (Alg. 3, GETDATA lines 19-24).
 func (e *rdRCRecv) issueReads(p *sim.Proc) error {
 	for src := 0; src < e.n; src++ {
+		if e.failed[src] {
+			// The sender's pool is unreachable; any announced-but-unread
+			// buffers die with it.
+			continue
+		}
 		for len(e.localArr[src]) > 0 {
 			idx := src*e.queueCap + e.cons[src]%e.queueCap
 			v := verbs.ReadUint64(e.validArrMR.Buf[8*idx:])
@@ -279,6 +357,9 @@ func (e *rdRCRecv) issueReads(p *sim.Proc) error {
 				})
 				if err == nil {
 					break
+				}
+				if err == verbs.ErrPeerDown {
+					return peerFailedErr(src)
 				}
 				if err != verbs.ErrSQFull {
 					return err
@@ -316,6 +397,9 @@ func (e *rdRCRecv) drain(p *sim.Proc, block bool) error {
 func (e *rdRCRecv) handle(es []verbs.CQE) error {
 	for _, c := range es {
 		if c.Status != verbs.WCSuccess {
+			if s, ok := e.qpSrc[c.QPN]; ok && (c.Status == verbs.WCPeerDown || e.failed[s]) {
+				return peerFailedErr(s)
+			}
 			return wcErr(c)
 		}
 		if c.Op != verbs.OpRead {
@@ -330,6 +414,7 @@ func (e *rdRCRecv) handle(es []verbs.CQE) error {
 		h := getHeader(e.localMR.Buf[ctx.localOff:])
 		if ctx.depleted {
 			e.depleted++
+			e.depletedBy[ctx.src] = true
 			if e.depleted >= e.n {
 				e.ocq.Kick()
 				e.dev.KickMemWaiters()
@@ -378,6 +463,9 @@ func (e *rdRCRecv) flushFrees(p *sim.Proc) error {
 }
 
 func (e *rdRCRecv) writeFree(p *sim.Proc, src, remoteOff int) error {
+	if e.failed[src] {
+		return nil // the dead sender will never reuse the buffer anyway
+	}
 	// Reserve the slot index and its staging mirror before posting; see
 	// rdRCSend.writeSlot for why.
 	idx := e.prod[src]
@@ -391,6 +479,9 @@ func (e *rdRCRecv) writeFree(p *sim.Proc, src, remoteOff int) error {
 			RemoteOffset: e.freeWin[src].base + 8*(idx%e.queueCap),
 		})
 		if err == nil {
+			return nil
+		}
+		if err == verbs.ErrPeerDown {
 			return nil
 		}
 		if err != verbs.ErrSQFull {
@@ -429,6 +520,9 @@ func (e *rdRCRecv) GetData(p *sim.Proc) (*Data, error) {
 		if e.depleted >= e.n && e.outstanding == 0 {
 			return nil, nil
 		}
+		if s, ok := e.missingFailed(); ok {
+			return nil, peerFailedErr(s)
+		}
 		ok := false
 		if e.outstanding > 0 {
 			ok = e.ocq.WaitNonEmpty(p, w.step())
@@ -464,6 +558,8 @@ func newRDRCSend(dev *verbs.Device, cfg Config, n, tpe int) *rdRCSend {
 		validWin: make([]remoteWin, n),
 		free:     sim.NewQueue[int](dev.Network().Sim, fmt.Sprintf("rd-free@%d", dev.Node())),
 		pending:  make(map[int]int),
+		failed:   make([]bool, n),
+		qpDest:   make(map[uint32]int),
 	}
 	e.wcq = dev.CreateCQ(4*pool*n + 64)
 	e.mr = dev.RegisterMRNoCost(make([]byte, pool*cfg.BufSize))
@@ -478,6 +574,7 @@ func newRDRCSend(dev *verbs.Device, cfg Config, n, tpe int) *rdRCSend {
 			Type: fabric.RC, SendCQ: e.wcq, RecvCQ: e.wcq,
 			MaxSend: 2*pool + 16, MaxRecv: 4,
 		})
+		e.qpDest[e.qps[d].QPN()] = d
 	}
 	return e
 }
@@ -486,14 +583,17 @@ func newRDRCRecv(dev *verbs.Device, cfg Config, n, tpe, senderPool int) *rdRCRec
 	perSrc := tpe * cfg.RecvBuffersPerPeer
 	e := &rdRCRecv{
 		dev: dev, cfg: cfg, n: n,
-		gate:     newEPGate(dev.Network().Sim, fmt.Sprintf("rd-recv@%d", dev.Node())),
-		queueCap: senderPool + 1,
-		cons:     make([]int, n),
-		prod:     make([]int, n),
-		freeWin:  make([]remoteWin, n),
-		dataWin:  make([]remoteWin, n),
-		localArr: make([][]int, n),
-		readCtx:  make(map[uint64]rdReadCtx),
+		gate:       newEPGate(dev.Network().Sim, fmt.Sprintf("rd-recv@%d", dev.Node())),
+		queueCap:   senderPool + 1,
+		cons:       make([]int, n),
+		prod:       make([]int, n),
+		freeWin:    make([]remoteWin, n),
+		dataWin:    make([]remoteWin, n),
+		localArr:   make([][]int, n),
+		readCtx:    make(map[uint64]rdReadCtx),
+		depletedBy: make([]bool, n),
+		failed:     make([]bool, n),
+		qpSrc:      make(map[uint32]int),
 	}
 	e.ocq = dev.CreateCQ(4*n*perSrc + 64)
 	e.validArrMR = dev.RegisterMRNoCost(make([]byte, 8*n*e.queueCap))
@@ -510,6 +610,7 @@ func newRDRCRecv(dev *verbs.Device, cfg Config, n, tpe, senderPool int) *rdRCRec
 			Type: fabric.RC, SendCQ: e.ocq, RecvCQ: e.ocq,
 			MaxSend: 2*perSrc + 16, MaxRecv: 4,
 		})
+		e.qpSrc[e.qps[s].QPN()] = s
 	}
 	return e
 }

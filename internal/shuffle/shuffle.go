@@ -200,7 +200,28 @@ var (
 	// or transport retries exhausted, or a flush after a Queue Pair entered
 	// the Error state). The query fragment fails and should restart.
 	ErrTransport = errors.New("shuffle: transport failure")
+	// ErrPeerFailed means a peer node was declared dead by the failure
+	// detector while this endpoint still owed it (or was owed) traffic. The
+	// query fragment fails and should be re-planned over the survivors.
+	ErrPeerFailed = errors.New("shuffle: peer node failed")
 )
+
+// peerFailedErr tags a failure attributable to a dead peer.
+func peerFailedErr(peer int) error {
+	return fmt.Errorf("%w: node %d", ErrPeerFailed, peer)
+}
+
+// PeerDrainer is implemented by endpoints that support membership-aware
+// teardown. When the failure detector suspects a peer, the connection
+// manager calls DrainPeer then ClosePeer on every endpoint of each surviving
+// node (from scheduler context — neither may block): the endpoint marks the
+// peer failed and wakes every blocked caller, so SHUFFLE/RECEIVE terminate
+// with ErrPeerFailed instead of waiting forever on credits, ValidArr slots,
+// or UD message counts the dead node will never produce.
+type PeerDrainer interface {
+	DrainPeer(peer int)
+	ClosePeer(peer int)
+}
 
 // wcErr converts a failed work completion into a transport error that the
 // SHUFFLE/RECEIVE operators surface as a query-fragment failure.

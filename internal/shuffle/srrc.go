@@ -81,6 +81,45 @@ type srRCSend struct {
 
 	sent     []uint64  // per dest: sends posted on this connection
 	creditMR *verbs.MR // per dest 8-byte absolute credit, written by peers
+
+	// failed marks destinations declared dead by the connection manager;
+	// qpDest maps each connection's QPN back to its destination so error
+	// completions can be attributed.
+	failed []bool
+	qpDest map[uint32]int
+}
+
+// DrainPeer and ClosePeer implement PeerDrainer: blocked senders wake and
+// observe the failed flag instead of waiting on credit the dead receiver
+// will never write.
+func (e *srRCSend) DrainPeer(peer int) {
+	if peer >= 0 && peer < e.n {
+		e.failed[peer] = true
+	}
+}
+
+func (e *srRCSend) ClosePeer(peer int) {
+	e.cq.Kick()
+	e.dev.KickMemWaiters()
+}
+
+// anyFailed returns a failed destination this endpoint still owes traffic,
+// if one exists.
+func (e *srRCSend) anyFailed() (int, bool) {
+	for d, f := range e.failed {
+		if f {
+			return d, true
+		}
+	}
+	return 0, false
+}
+
+// sendErr attributes a post/completion failure to a dead peer when possible.
+func (e *srRCSend) sendErr(dest int, err error) error {
+	if err == verbs.ErrPeerDown || e.failed[dest] {
+		return peerFailedErr(dest)
+	}
+	return err
 }
 
 func (e *srRCSend) buf(off int) *Buf {
@@ -94,6 +133,11 @@ func (e *srRCSend) GetFree(p *sim.Proc) (*Buf, error) {
 	for {
 		if off, ok := e.free.TryGet(); ok {
 			return e.buf(off), nil
+		}
+		if d, ok := e.anyFailed(); ok {
+			// A buffer pending toward the dead peer will never complete; the
+			// fragment fails and recovery re-plans over the survivors.
+			return nil, peerFailedErr(d)
 		}
 		var es [16]verbs.CQE
 		if !e.cq.WaitNonEmpty(p, w.step()) {
@@ -118,7 +162,11 @@ func (e *srRCSend) reap(es []verbs.CQE) error {
 	for _, c := range es {
 		if c.Status != verbs.WCSuccess {
 			if err == nil {
-				err = wcErr(c)
+				if d, ok := e.qpDest[c.QPN]; ok && (c.Status == verbs.WCPeerDown || e.failed[d]) {
+					err = peerFailedErr(d)
+				} else {
+					err = wcErr(c)
+				}
 			}
 			continue
 		}
@@ -137,6 +185,9 @@ func (e *srRCSend) reap(es []verbs.CQE) error {
 func (e *srRCSend) waitCredit(p *sim.Proc, dest int) error {
 	w := newWaiter(e.cfg.StallTimeout)
 	for {
+		if e.failed[dest] {
+			return peerFailedErr(dest)
+		}
 		if e.qps[dest].State() == verbs.QPError {
 			// The peer can never grant more credit over a dead connection;
 			// fail fast instead of running down the stall timeout.
@@ -186,7 +237,7 @@ func (e *srRCSend) send(p *sim.Proc, b *Buf, dest []int, flags uint16) error {
 			return err
 		}
 		if err := e.post(p, d, b.off, HeaderSize+b.Len); err != nil {
-			return err
+			return e.sendErr(d, err)
 		}
 	}
 	return nil
@@ -214,6 +265,9 @@ func (e *srRCSend) Finish(p *sim.Proc) error {
 	}
 	w := newWaiter(e.cfg.StallTimeout)
 	for len(e.pending) > 0 {
+		if d, ok := e.anyFailed(); ok {
+			return peerFailedErr(d)
+		}
 		var es [16]verbs.CQE
 		if !e.cq.WaitNonEmpty(p, w.step()) {
 			if !w.idle() {
@@ -253,15 +307,51 @@ type srRCRecv struct {
 	lastWritten  []uint64
 	creditWin    []remoteWin // where each sender keeps my credit slot
 
-	depleted int // sources that have sent their Depleted marker
+	depleted   int    // sources that have sent their Depleted marker
+	depletedBy []bool // which sources those were
+
+	// failed marks sources declared dead by the connection manager; qpSrc
+	// attributes completions to their source connection.
+	failed []bool
+	qpSrc  map[uint32]int
 }
 
 func (e *srRCRecv) slotOff(slot int) int { return slot * e.cfg.BufSize }
 func (e *srRCRecv) slotSrc(slot int) int { return slot / e.perSrc }
 
+// DrainPeer and ClosePeer implement PeerDrainer. A failed source that has
+// already sent its Depleted marker owes nothing, so the receiver can still
+// finish; otherwise GetData reports ErrPeerFailed instead of waiting for
+// data the dead node will never send.
+func (e *srRCRecv) DrainPeer(peer int) {
+	if peer >= 0 && peer < e.n {
+		e.failed[peer] = true
+	}
+}
+
+func (e *srRCRecv) ClosePeer(peer int) {
+	e.rcq.Kick()
+	e.wcq.Kick()
+}
+
+// missingFailed returns a failed source whose stream is still incomplete.
+func (e *srRCRecv) missingFailed() (int, bool) {
+	for s, f := range e.failed {
+		if f && !e.depletedBy[s] {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
 // repost returns slot to its source QP and advances the credit protocol.
 func (e *srRCRecv) repost(p *sim.Proc, slot int) error {
 	src := e.slotSrc(slot)
+	if e.failed[src] {
+		// The connection is torn down; the slot is dead but so is its
+		// source — nothing further arrives on it.
+		return nil
+	}
 	err := e.gate.postRecv(p, e.qps[src], verbs.RecvWR{
 		ID: uint64(slot), MR: e.bufMR, Offset: e.slotOff(slot), Len: e.cfg.BufSize,
 	})
@@ -285,6 +375,11 @@ func (e *srRCRecv) drainWrites(p *sim.Proc) error {
 		n := e.gate.poll(p, e.wcq, es[:])
 		for _, c := range es[:n] {
 			if c.Status != verbs.WCSuccess {
+				if s, ok := e.qpSrc[c.QPN]; ok && (c.Status == verbs.WCPeerDown || e.failed[s]) {
+					// A credit write toward a dead peer flushed; the receiver
+					// itself loses nothing.
+					continue
+				}
 				return wcErr(c)
 			}
 		}
@@ -294,6 +389,9 @@ func (e *srRCRecv) drainWrites(p *sim.Proc) error {
 
 // writeCredit transmits the absolute credit for src with RDMA Write.
 func (e *srRCRecv) writeCredit(p *sim.Proc, src int) error {
+	if e.failed[src] {
+		return nil
+	}
 	e.lastWritten[src] = e.creditIssued[src]
 	verbs.PutUint64(e.stageMR.Buf[8*src:], e.creditIssued[src])
 	err := e.gate.post(p, e.qps[src], verbs.SendWR{
@@ -306,6 +404,9 @@ func (e *srRCRecv) writeCredit(p *sim.Proc, src int) error {
 			return err
 		}
 		return e.writeCredit(p, src)
+	}
+	if err == verbs.ErrPeerDown {
+		return nil // the peer died under us; its credit no longer matters
 	}
 	if err != nil {
 		return fmt.Errorf("%w: credit write: %v", ErrTransport, err)
@@ -321,6 +422,9 @@ func (e *srRCRecv) GetData(p *sim.Proc) (*Data, error) {
 		if e.gate.poll(p, e.rcq, es[:]) == 1 {
 			w.progress()
 			if es[0].Status != verbs.WCSuccess {
+				if s, ok := e.qpSrc[es[0].QPN]; ok && (es[0].Status == verbs.WCPeerDown || e.failed[s]) {
+					return nil, peerFailedErr(s)
+				}
 				return nil, wcErr(es[0])
 			}
 			slot := int(es[0].WRID)
@@ -328,6 +432,7 @@ func (e *srRCRecv) GetData(p *sim.Proc) (*Data, error) {
 			h := getHeader(e.bufMR.Buf[off:])
 			if h.flags&flagDepleted != 0 {
 				e.depleted++
+				e.depletedBy[int(h.src)] = true
 				if e.depleted >= e.n {
 					e.rcq.Kick()
 				}
@@ -346,6 +451,9 @@ func (e *srRCRecv) GetData(p *sim.Proc) (*Data, error) {
 		}
 		if e.depleted >= e.n {
 			return nil, nil
+		}
+		if s, ok := e.missingFailed(); ok {
+			return nil, peerFailedErr(s)
 		}
 		if !e.rcq.WaitNonEmpty(p, w.step()) {
 			if !w.idle() {
@@ -372,6 +480,8 @@ func newSRRCSend(dev *verbs.Device, cfg Config, n, tpe int) *srRCSend {
 		free:     sim.NewQueue[int](dev.Network().Sim, fmt.Sprintf("srrc-free@%d", dev.Node())),
 		pending:  make(map[int]int),
 		sent:     make([]uint64, n),
+		failed:   make([]bool, n),
+		qpDest:   make(map[uint32]int),
 	}
 	e.cq = dev.CreateCQ(2*pool*n + 64)
 	e.mr = dev.RegisterMRNoCost(make([]byte, pool*cfg.BufSize))
@@ -385,6 +495,7 @@ func newSRRCSend(dev *verbs.Device, cfg Config, n, tpe int) *srRCSend {
 			Type: fabric.RC, SendCQ: e.cq, RecvCQ: e.cq,
 			MaxSend: 2*pool + 16, MaxRecv: 4,
 		})
+		e.qpDest[e.qps[d].QPN()] = d
 	}
 	return e
 }
@@ -397,6 +508,9 @@ func newSRRCRecv(dev *verbs.Device, cfg Config, n, tpe int) *srRCRecv {
 		creditIssued: make([]uint64, n),
 		lastWritten:  make([]uint64, n),
 		creditWin:    make([]remoteWin, n),
+		depletedBy:   make([]bool, n),
+		failed:       make([]bool, n),
+		qpSrc:        make(map[uint32]int),
 	}
 	slots := n * perSrc
 	e.rcq = dev.CreateCQ(slots + 64)
@@ -412,6 +526,7 @@ func newSRRCRecv(dev *verbs.Device, cfg Config, n, tpe int) *srRCRecv {
 			Type: fabric.RC, SendCQ: e.wcq, RecvCQ: e.rcq,
 			MaxSend: 4 * n, MaxRecv: perSrc + 4,
 		})
+		e.qpSrc[e.qps[s].QPN()] = s
 	}
 	return e
 }

@@ -43,6 +43,23 @@ type srUDSend struct {
 	// hwmc enables one-WQE broadcast through the multicast group mgid.
 	hwmc bool
 	mgid uint32
+
+	// failed marks destinations declared dead by the connection manager.
+	// UD sends to them still complete locally (the datagram vanishes on the
+	// wire), so buffers keep cycling; only the credit wait must not block.
+	failed []bool
+}
+
+// DrainPeer and ClosePeer implement PeerDrainer.
+func (e *srUDSend) DrainPeer(peer int) {
+	if peer >= 0 && peer < e.n {
+		e.failed[peer] = true
+	}
+}
+
+func (e *srUDSend) ClosePeer(peer int) {
+	e.ccq.Kick()
+	e.scq.Kick()
 }
 
 func (e *srUDSend) buf(off int) *Buf {
@@ -129,6 +146,9 @@ func (e *srUDSend) GetFree(p *sim.Proc) (*Buf, error) {
 func (e *srUDSend) waitCredit(p *sim.Proc, dest int) error {
 	w := newWaiter(e.cfg.StallTimeout)
 	for {
+		if e.failed[dest] {
+			return peerFailedErr(dest)
+		}
 		if err := e.drainCredit(p); err != nil {
 			return err
 		}
@@ -287,6 +307,33 @@ type srUDRecv struct {
 	knownCount   int
 
 	lossWait sim.Duration // accumulated wait after all totals are known
+
+	// failed marks sources declared dead by the connection manager.
+	failed []bool
+}
+
+// DrainPeer and ClosePeer implement PeerDrainer. A failed source whose
+// total is known and matched owes nothing more; otherwise GetData reports
+// ErrPeerFailed instead of running down the DepletedTimeout.
+func (e *srUDRecv) DrainPeer(peer int) {
+	if peer >= 0 && peer < e.n {
+		e.failed[peer] = true
+	}
+}
+
+func (e *srUDRecv) ClosePeer(peer int) {
+	e.rcq.Kick()
+	e.scq.Kick()
+}
+
+// missingFailed returns a failed source whose stream is still incomplete.
+func (e *srUDRecv) missingFailed() (int, bool) {
+	for s, f := range e.failed {
+		if f && (!e.totalKnown[s] || e.received[s] != e.expected[s]) {
+			return s, true
+		}
+	}
+	return 0, false
 }
 
 func (e *srUDRecv) allDone() bool {
@@ -333,6 +380,9 @@ func (e *srUDRecv) drainSends(p *sim.Proc) error {
 
 // sendCredit grants absolute credit to src with a small UD datagram.
 func (e *srUDRecv) sendCredit(p *sim.Proc, src int) error {
+	if e.failed[src] {
+		return nil // the grant would vanish on the dead node's cut links
+	}
 	e.lastWritten[src] = e.creditIssued[src]
 	off := src * HeaderSize
 	putHeader(e.stageMR.Buf[off:], header{
@@ -396,6 +446,9 @@ func (e *srUDRecv) GetData(p *sim.Proc) (*Data, error) {
 		if e.allDone() {
 			return nil, nil
 		}
+		if s, ok := e.missingFailed(); ok {
+			return nil, peerFailedErr(s)
+		}
 		q := w.step()
 		if !e.rcq.WaitNonEmpty(p, q) {
 			if e.knownCount == e.n {
@@ -444,6 +497,7 @@ func newSRUDSend(dev *verbs.Device, cfg Config, n, tpe int) *srUDSend {
 		credit:     make([]uint64, n),
 		totals:     make([]uint64, n),
 		ahs:        make([]verbs.AH, n),
+		failed:     make([]bool, n),
 	}
 	// Broadcast posts one send per group member per buffer, and completions
 	// sit in the CQ until the application polls; size for the worst case.
@@ -486,6 +540,7 @@ func newSRUDRecv(dev *verbs.Device, cfg Config, n, tpe int) *srUDRecv {
 		received:     make([]uint64, n),
 		expected:     make([]uint64, n),
 		totalKnown:   make([]bool, n),
+		failed:       make([]bool, n),
 	}
 	e.rcq = dev.CreateCQ(slots + 64)
 	// Credit-datagram completions queue behind bulk data on the wire.

@@ -52,10 +52,38 @@ type wrRCSend struct {
 	validWin []remoteWin
 	prod     []int
 	stageMR  *verbs.MR
+
+	// failed marks destinations declared dead by the connection manager;
+	// qpDest attributes completions to their connection.
+	failed []bool
+	qpDest map[uint32]int
 }
 
 func (e *wrRCSend) buf(off int) *Buf {
 	return &Buf{Data: e.mr.Buf[off+HeaderSize : off+e.cfg.BufSize], off: off}
+}
+
+// DrainPeer and ClosePeer implement PeerDrainer: a dead receiver never
+// grants slots again, so blocked SEND calls wake and fail with
+// ErrPeerFailed instead of running down the stall timeout.
+func (e *wrRCSend) DrainPeer(peer int) {
+	if peer >= 0 && peer < e.n {
+		e.failed[peer] = true
+	}
+}
+
+func (e *wrRCSend) ClosePeer(peer int) {
+	e.wcq.Kick()
+	e.dev.KickMemWaiters()
+}
+
+func (e *wrRCSend) anyFailed() (int, bool) {
+	for d, f := range e.failed {
+		if f {
+			return d, true
+		}
+	}
+	return 0, false
 }
 
 // popSlot takes one granted remote slot for dest, blocking until the
@@ -63,6 +91,9 @@ func (e *wrRCSend) buf(off int) *Buf {
 func (e *wrRCSend) popSlot(p *sim.Proc, dest int) (int, error) {
 	w := newWaiter(e.cfg.StallTimeout)
 	for {
+		if e.failed[dest] {
+			return 0, peerFailedErr(dest)
+		}
 		if e.qps[dest].State() == verbs.QPError {
 			// Grants arrive over the reverse direction of this connection;
 			// once it errors no grant can ever land, so fail fast.
@@ -97,7 +128,11 @@ func (e *wrRCSend) reapWrites(p *sim.Proc) error {
 		for _, c := range es[:n] {
 			if c.Status != verbs.WCSuccess {
 				if err == nil {
-					err = wcErr(c)
+					if d, ok := e.qpDest[c.QPN]; ok && (c.Status == verbs.WCPeerDown || e.failed[d]) {
+						err = peerFailedErr(d)
+					} else {
+						err = wcErr(c)
+					}
 				}
 				continue
 			}
@@ -129,6 +164,9 @@ func (e *wrRCSend) GetFree(p *sim.Proc) (*Buf, error) {
 		if off, ok := e.free.TryGet(); ok {
 			return e.buf(off), nil
 		}
+		if d, ok := e.anyFailed(); ok {
+			return nil, peerFailedErr(d)
+		}
 		if !e.wcq.WaitNonEmpty(p, w.step()) {
 			if !w.idle() {
 				return nil, fmt.Errorf("%w: WR GetFree on node %d", ErrStalled, e.dev.Node())
@@ -144,6 +182,9 @@ func (e *wrRCSend) postWrite(p *sim.Proc, dest int, wr verbs.SendWR) error {
 		err := e.gate.post(p, e.qps[dest], wr)
 		if err == nil {
 			return nil
+		}
+		if err == verbs.ErrPeerDown {
+			return peerFailedErr(dest)
 		}
 		if err != verbs.ErrSQFull {
 			return err
@@ -216,6 +257,9 @@ func (e *wrRCSend) Finish(p *sim.Proc) error {
 		if len(e.pending) == 0 {
 			break
 		}
+		if d, ok := e.anyFailed(); ok {
+			return peerFailedErr(d)
+		}
 		if !e.wcq.WaitNonEmpty(p, w.step()) {
 			if !w.idle() {
 				return fmt.Errorf("%w: WR Finish flush (%d outstanding)", ErrStalled, len(e.pending))
@@ -251,11 +295,44 @@ type wrRCRecv struct {
 	prod     []int
 	stageMR  *verbs.MR
 
-	depleted int
+	depleted   int
+	depletedBy []bool
+
+	// failed marks sources declared dead by the connection manager; qpSrc
+	// attributes completions to their connection.
+	failed []bool
+	qpSrc  map[uint32]int
+}
+
+// DrainPeer and ClosePeer implement PeerDrainer: GETDATA fails once a dead
+// sender's stream is known to be incomplete instead of polling ValidArr
+// entries that will never be written.
+func (e *wrRCRecv) DrainPeer(peer int) {
+	if peer >= 0 && peer < e.n {
+		e.failed[peer] = true
+	}
+}
+
+func (e *wrRCRecv) ClosePeer(peer int) {
+	e.gcq.Kick()
+	e.dev.KickMemWaiters()
+}
+
+// missingFailed returns a failed source whose stream is still incomplete.
+func (e *wrRCRecv) missingFailed() (int, bool) {
+	for s, f := range e.failed {
+		if f && !e.depletedBy[s] {
+			return s, true
+		}
+	}
+	return 0, false
 }
 
 // grant hands slot (an offset within slotMR) to sender src.
 func (e *wrRCRecv) grant(p *sim.Proc, src, slot int) error {
+	if e.failed[src] {
+		return nil // the dead sender will never consume the grant
+	}
 	idx := e.prod[src]
 	e.prod[src]++
 	stage := 8 * (src*e.queueCap + idx%e.queueCap)
@@ -268,6 +345,9 @@ func (e *wrRCRecv) grant(p *sim.Proc, src, slot int) error {
 		})
 		if err == nil {
 			break
+		}
+		if err == verbs.ErrPeerDown {
+			return nil
 		}
 		if err != verbs.ErrSQFull {
 			return err
@@ -287,6 +367,10 @@ func (e *wrRCRecv) drainGrants(p *sim.Proc) error {
 		n := e.gate.poll(p, e.gcq, es[:])
 		for _, c := range es[:n] {
 			if c.Status != verbs.WCSuccess {
+				if s, ok := e.qpSrc[c.QPN]; ok && (c.Status == verbs.WCPeerDown || e.failed[s]) {
+					// A grant toward a dead sender flushed; nothing is owed.
+					continue
+				}
 				return wcErr(c)
 			}
 		}
@@ -311,6 +395,7 @@ func (e *wrRCRecv) GetData(p *sim.Proc) (*Data, error) {
 			h := getHeader(e.slotMR.Buf[slot:])
 			if dep {
 				e.depleted++
+				e.depletedBy[src] = true
 				if e.depleted >= e.n {
 					e.dev.KickMemWaiters()
 				}
@@ -330,6 +415,9 @@ func (e *wrRCRecv) GetData(p *sim.Proc) (*Data, error) {
 		}
 		if e.depleted >= e.n {
 			return nil, nil
+		}
+		if s, ok := e.missingFailed(); ok {
+			return nil, peerFailedErr(s)
 		}
 		if !e.dev.WaitMemChange(p, w.step()) {
 			if !w.idle() {
@@ -363,6 +451,8 @@ func newWRRCSend(dev *verbs.Device, cfg Config, n, tpe, grantCap int) *wrRCSend 
 		prod:     make([]int, n),
 		slotWin:  make([]remoteWin, n),
 		validWin: make([]remoteWin, n),
+		failed:   make([]bool, n),
+		qpDest:   make(map[uint32]int),
 	}
 	e.wcq = dev.CreateCQ(4*pool*n + 64)
 	e.mr = dev.RegisterMRNoCost(make([]byte, pool*cfg.BufSize))
@@ -377,6 +467,7 @@ func newWRRCSend(dev *verbs.Device, cfg Config, n, tpe, grantCap int) *wrRCSend 
 			Type: fabric.RC, SendCQ: e.wcq, RecvCQ: e.wcq,
 			MaxSend: 4*pool + 16, MaxRecv: 4,
 		})
+		e.qpDest[e.qps[d].QPN()] = d
 	}
 	return e
 }
@@ -385,11 +476,14 @@ func newWRRCRecv(dev *verbs.Device, cfg Config, n, tpe int) *wrRCRecv {
 	perSrc := tpe * cfg.RecvBuffersPerPeer
 	e := &wrRCRecv{
 		dev: dev, cfg: cfg, n: n, perSrc: perSrc,
-		gate:     newEPGate(dev.Network().Sim, fmt.Sprintf("wr-recv@%d", dev.Node())),
-		queueCap: perSrc + 1,
-		cons:     make([]int, n),
-		prod:     make([]int, n),
-		grantWin: make([]remoteWin, n),
+		gate:       newEPGate(dev.Network().Sim, fmt.Sprintf("wr-recv@%d", dev.Node())),
+		queueCap:   perSrc + 1,
+		cons:       make([]int, n),
+		prod:       make([]int, n),
+		grantWin:   make([]remoteWin, n),
+		depletedBy: make([]bool, n),
+		failed:     make([]bool, n),
+		qpSrc:      make(map[uint32]int),
 	}
 	e.gcq = dev.CreateCQ(4*n*perSrc + 64)
 	e.slotMR = dev.RegisterMRNoCost(make([]byte, n*perSrc*cfg.BufSize))
@@ -401,6 +495,7 @@ func newWRRCRecv(dev *verbs.Device, cfg Config, n, tpe int) *wrRCRecv {
 			Type: fabric.RC, SendCQ: e.gcq, RecvCQ: e.gcq,
 			MaxSend: 2*perSrc + 16, MaxRecv: 4,
 		})
+		e.qpSrc[e.qps[s].QPN()] = s
 	}
 	return e
 }

@@ -175,6 +175,9 @@ func (qp *QP) PostRecv(p *sim.Proc, wr RecvWR) error {
 	defer qp.mu.Unlock(p)
 	p.Sleep(qp.dev.prof().PostCost)
 	qp.dev.stats.Posts++
+	if qp.cfg.Type == fabric.RC && qp.connected && qp.dev.PeerDown(qp.peerNode) {
+		return ErrPeerDown
+	}
 	if qp.state == QPError {
 		return ErrQPError
 	}
@@ -201,6 +204,10 @@ func (qp *QP) PostSend(p *sim.Proc, wr SendWR) error {
 	qp.mu.Lock(p)
 	p.Sleep(qp.dev.prof().PostCost)
 	qp.dev.stats.Posts++
+	if qp.cfg.Type == fabric.RC && qp.connected && qp.dev.PeerDown(qp.peerNode) {
+		qp.mu.Unlock(p)
+		return ErrPeerDown
+	}
 	if qp.state == QPError {
 		qp.mu.Unlock(p)
 		return ErrQPError
@@ -284,6 +291,29 @@ func (qp *QP) enterError(trigger CQE) {
 	qp.stalled = nil
 	// Wake pollers that wait on memory changes rather than CQs (one-sided
 	// protocols) so they observe the failure promptly.
+	qp.dev.memWake.Broadcast()
+}
+
+// forceError transitions the QP to the Error state on a connection-manager
+// event rather than a failed work request: every outstanding send-side WR is
+// flushed with status st, every posted receive with WCFlushErr, and further
+// posts fail. It is idempotent.
+func (qp *QP) forceError(st WCStatus) {
+	if qp.state == QPError || qp.destroyed {
+		return
+	}
+	qp.state = QPError
+	qp.dev.stats.QPErrors++
+	for _, w := range qp.inflight {
+		qp.outstanding--
+		qp.cfg.SendCQ.pushFlush(CQE{QPN: qp.qpn, WRID: w.id, Op: w.op, Status: st})
+	}
+	qp.inflight = nil
+	for _, rwr := range qp.recvQ {
+		qp.cfg.RecvCQ.pushFlush(CQE{QPN: qp.qpn, WRID: rwr.ID, Op: OpRecv, Status: WCFlushErr})
+	}
+	qp.recvQ = nil
+	qp.stalled = nil
 	qp.dev.memWake.Broadcast()
 }
 

@@ -35,6 +35,10 @@ var (
 	// ErrQPError is returned by the posting verbs once the queue pair has
 	// transitioned to the Error state; outstanding work has been flushed.
 	ErrQPError = errors.New("verbs: queue pair in error state")
+	// ErrPeerDown is returned by the posting verbs on an RC queue pair whose
+	// peer the connection manager has declared dead (NotifyPeerDown): the
+	// post fails immediately instead of burning the transport retry budget.
+	ErrPeerDown = errors.New("verbs: peer declared down by connection manager")
 )
 
 // WCStatus is a work completion status, mirroring ibv_wc_status. The zero
@@ -54,6 +58,10 @@ const (
 	// WCFlushErr marks a work request flushed unexecuted because its QP
 	// entered the Error state (IBV_WC_WR_FLUSH_ERR).
 	WCFlushErr
+	// WCPeerDown marks a work request flushed because the connection manager
+	// declared the QP's peer dead (a disconnect/fatal async event in real
+	// verbs); it is more diagnosable than the generic flush status.
+	WCPeerDown
 )
 
 func (s WCStatus) String() string {
@@ -66,6 +74,8 @@ func (s WCStatus) String() string {
 		return "transport retry exceeded"
 	case WCFlushErr:
 		return "WR flushed"
+	case WCPeerDown:
+		return "peer down"
 	}
 	return "unknown"
 }
@@ -100,6 +110,12 @@ type Device struct {
 
 	// mcast holds this node's multicast group attachments.
 	mcast map[uint32][]*QP
+
+	// deadPeers records nodes the connection manager has declared dead;
+	// peerDownFns are the registered disconnect-event handlers, invoked in
+	// registration order.
+	deadPeers   map[int]bool
+	peerDownFns []func(peer int)
 
 	stats DeviceStats
 }
@@ -209,6 +225,45 @@ func (d *Device) DetachMulticast(qp *QP, mgid uint32) {
 
 // KickMemWaiters wakes every Proc blocked in WaitMemChange; see CQ.Kick.
 func (d *Device) KickMemWaiters() { d.memWake.Broadcast() }
+
+// PeerDown reports whether the connection manager has declared node dead.
+func (d *Device) PeerDown(node int) bool { return d.deadPeers[node] }
+
+// OnPeerDown registers a connection-manager disconnect handler, invoked once
+// per dead peer in registration order from scheduler context; handlers must
+// not block.
+func (d *Device) OnPeerDown(fn func(peer int)) {
+	d.peerDownFns = append(d.peerDownFns, fn)
+}
+
+// NotifyPeerDown is the connection-manager disconnect event: it marks peer
+// dead, transitions every connected RC queue pair bound to it into the Error
+// state (outstanding work flushes with WCPeerDown), and invokes the
+// registered OnPeerDown handlers. Subsequent posts on those QPs — and on any
+// QP later connected to peer — fail fast with ErrPeerDown. It is idempotent
+// and runs in scheduler context.
+func (d *Device) NotifyPeerDown(peer int) {
+	if d.deadPeers[peer] {
+		return
+	}
+	if d.deadPeers == nil {
+		d.deadPeers = make(map[int]bool)
+	}
+	d.deadPeers[peer] = true
+	// QPNs ascend from 1; iterating them in order keeps teardown (and thus
+	// the flush-completion order) deterministic across runs.
+	for qpn := uint32(1); qpn <= d.nextQPN; qpn++ {
+		qp := d.qps[qpn]
+		if qp == nil || qp.cfg.Type != fabric.RC || !qp.connected || qp.peerNode != peer {
+			continue
+		}
+		qp.forceError(WCPeerDown)
+	}
+	for _, fn := range d.peerDownFns {
+		fn(peer)
+	}
+	d.memWake.Broadcast()
+}
 
 // WaitMemChange blocks p until a remote one-sided operation modifies this
 // node's memory, or until the timeout elapses. It models an application

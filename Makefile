@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-full vet race fmt
+.PHONY: build test test-full vet race fmt trace
 
 build:
 	$(GO) build ./...
@@ -21,3 +21,13 @@ race:
 
 fmt:
 	gofmt -l -w .
+
+# Run a short traced benchmark twice with the same seed and check the
+# exported Chrome traces are byte-identical (the determinism oracle); the
+# trace lands in trace.json for chrome://tracing or Perfetto.
+trace:
+	$(GO) run ./cmd/shufflebench -trace trace.json
+	$(GO) run ./cmd/shufflebench -trace trace2.json
+	cmp trace.json trace2.json
+	rm trace2.json
+	@echo "trace deterministic: trace.json"

@@ -8,6 +8,8 @@
 //	shufflebench -exp fig10,fig12
 //	shufflebench -exp all -full -out results.txt
 //	shufflebench -chaos
+//	shufflebench -trace out.json
+//	shufflebench -metrics
 package main
 
 import (
@@ -22,16 +24,20 @@ import (
 	"rshuffle/internal/experiments"
 	"rshuffle/internal/fabric"
 	"rshuffle/internal/shuffle"
+	"rshuffle/internal/sim"
+	"rshuffle/internal/telemetry"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments and exit")
-		exp   = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
-		full  = flag.Bool("full", false, "paper-grade data volumes (slower, smoother numbers)")
-		out   = flag.String("out", "", "also write the report to this file")
-		seed  = flag.Int64("seed", 42, "simulation seed")
-		chaos = flag.Bool("chaos", false, "run the fault-injection matrix instead of the experiments")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		exp     = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
+		full    = flag.Bool("full", false, "paper-grade data volumes (slower, smoother numbers)")
+		out     = flag.String("out", "", "also write the report to this file")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+		chaos   = flag.Bool("chaos", false, "run the fault-injection matrix instead of the experiments")
+		trace   = flag.String("trace", "", "run a short traced benchmark and write Chrome trace-event JSON to this file")
+		metrics = flag.Bool("metrics", false, "regenerate the paper's Table 1 counters from the metrics registry")
 	)
 	flag.Parse()
 
@@ -51,6 +57,23 @@ func main() {
 		}
 		defer f.Close()
 		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	if *trace != "" {
+		if err := runTraced(w, *trace, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if !*metrics {
+			return
+		}
+	}
+	if *metrics {
+		if err := runMetrics(w, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *chaos {
@@ -91,6 +114,113 @@ func main() {
 		}
 		fmt.Fprintf(w, "  (%s completed in %v wall time)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runTraced executes a short MEMQ/SR benchmark with the event tracer
+// attached and writes the Chrome trace-event JSON (loadable in
+// chrome://tracing or Perfetto) to path. The simulation is deterministic:
+// two runs with the same seed write byte-identical files, which CI exploits
+// as a regression check.
+func runTraced(w io.Writer, path string, seed int64) error {
+	c := cluster.New(fabric.FDR(), 4, 2, seed)
+	tr := c.EnableTracing(1 << 20)
+	cfg := shuffle.Algorithms[0].Config(c.Threads) // MEMQ/SR
+	res, err := c.RunBench(cluster.BenchOpts{
+		Factory: cluster.RDMAProvider(cfg), RowsPerNode: 8192,
+	})
+	if err != nil {
+		return err
+	}
+	if res.Err != nil {
+		return res.Err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := telemetry.WriteChromeTrace(f, tr); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "traced %s benchmark: %d nodes, %d rows/node, seed %d\n",
+		shuffle.Algorithms[0].Name, 4, 8192, seed)
+	fmt.Fprintf(w, "  elapsed %v, %d events retained (%d overwritten) -> %s\n",
+		res.Elapsed, tr.Len(), tr.Dropped(), path)
+	return nil
+}
+
+// runMetrics regenerates the paper's Table 1 counters purely from the
+// metrics registry: the Queue Pair census of the EDR cluster (16 nodes, 14
+// threads per node) and the per-design WQE and QP-state-cache activity of a
+// streaming run on the FDR cluster, whose 48-entry cache is the bottleneck
+// the paper's Fig. 11 investigates.
+func runMetrics(w io.Writer, seed int64) error {
+	fmt.Fprintf(w, "registry-derived paper counters (seed %d)\n\n", seed)
+	fmt.Fprintf(w, "Table 1 QP census (EDR, 16 nodes x 14 threads/node)\n")
+	fmt.Fprintf(w, "  derivation: verbs.qps_created.node0 / 2 (one operator pair creates send + receive side)\n")
+	fmt.Fprintf(w, "  %-8s %12s\n", "design", "QPs/operator")
+	for _, name := range []string{"MEMQ/SR", "SEMQ/SR", "MESQ/SR", "SESQ/SR"} {
+		alg := findAlgorithm(name)
+		c := cluster.New(fabric.EDR(), 16, 14, seed)
+		cfg := alg.Config(c.Threads)
+		c.Sim.Spawn("build", func(p *sim.Proc) {
+			shuffle.Build(p, c.Devs, cfg, c.Threads)
+		})
+		if err := c.Sim.Run(); err != nil {
+			return fmt.Errorf("%s: %v", name, err)
+		}
+		reg := c.Metrics()
+		fmt.Fprintf(w, "  %-8s %12d\n", strings.SplitN(name, "/", 2)[0],
+			reg.CounterValue("verbs.qps_created.node0")/2)
+	}
+
+	const rows = 2048
+	fmt.Fprintf(w, "\nWQE and QP-cache activity (FDR, 8 nodes x 10 threads/node, %d rows/node)\n", rows)
+	fmt.Fprintf(w, "  %-8s %8s %9s %9s %9s %8s %7s %7s\n",
+		"design", "QPs/op", "WQEs", "hits", "misses", "evicts", "miss%", "ctl%")
+	for _, alg := range shuffle.Algorithms {
+		c := cluster.New(fabric.FDR(), 8, 10, seed)
+		cfg := alg.Config(c.Threads)
+		res, err := c.RunBench(cluster.BenchOpts{
+			Factory: cluster.RDMAProvider(cfg), RowsPerNode: rows,
+		})
+		if err != nil {
+			return fmt.Errorf("%s: %v", alg.Name, err)
+		}
+		if res.Err != nil {
+			return fmt.Errorf("%s: %v", alg.Name, res.Err)
+		}
+		reg := c.Metrics()
+		hits := reg.CounterValue("fabric.qp_cache_hits.total")
+		misses := reg.CounterValue("fabric.qp_cache_misses.total")
+		missPct := 0.0
+		if hits+misses > 0 {
+			missPct = 100 * float64(misses) / float64(hits+misses)
+		}
+		ctl := reg.CounterValue("fabric.tx_control_bytes.total")
+		wire := reg.CounterValue("fabric.tx_wire_bytes.total")
+		ctlPct := 0.0
+		if wire > 0 {
+			ctlPct = 100 * float64(ctl) / float64(wire)
+		}
+		fmt.Fprintf(w, "  %-8s %8d %9d %9d %9d %8d %6.1f%% %6.2f%%\n",
+			alg.Name,
+			reg.CounterValue("verbs.qps_created.node0")/2,
+			reg.CounterValue("verbs.posts.total"),
+			hits, misses,
+			reg.CounterValue("fabric.qp_cache_evictions.total"),
+			missPct, ctlPct)
+	}
+	return nil
+}
+
+func findAlgorithm(name string) shuffle.Algorithm {
+	for _, a := range shuffle.Algorithms {
+		if a.Name == name {
+			return a
+		}
+	}
+	panic("unknown algorithm " + name)
 }
 
 // runChaosMatrix runs every Table 1 algorithm under every fault scenario —

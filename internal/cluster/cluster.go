@@ -12,6 +12,7 @@ import (
 	"rshuffle/internal/fabric"
 	"rshuffle/internal/shuffle"
 	"rshuffle/internal/sim"
+	"rshuffle/internal/telemetry"
 	"rshuffle/internal/verbs"
 )
 
@@ -55,6 +56,33 @@ func New(prof fabric.Profile, nodes, threads int, seed int64) *Cluster {
 // Ctx returns an operator context for one node's fragment.
 func (c *Cluster) Ctx(node int) *engine.Ctx {
 	return &engine.Ctx{S: c.Sim, Prof: &c.Net.Prof, Threads: c.Threads, Node: node}
+}
+
+// EnableTracing attaches a fresh event tracer holding at most capacity
+// events to the cluster's fabric; every layer (fabric, verbs, shuffle,
+// detector) reaches it through Network.Tracer. It returns the tracer for
+// export after the run.
+func (c *Cluster) EnableTracing(capacity int) *telemetry.Tracer {
+	t := telemetry.NewTracer(capacity)
+	c.Net.SetTracer(t)
+	return t
+}
+
+// Metrics scrapes the whole stack into a fresh registry: every fabric NIC
+// counter, every verbs device counter, and — when a failure detector is
+// installed — its detection statistics. Call it after the run; counters in
+// the registry are snapshots, not live handles.
+func (c *Cluster) Metrics() *telemetry.Registry {
+	reg := telemetry.NewRegistry()
+	c.Net.PublishMetrics(reg)
+	for _, d := range c.Devs {
+		d.PublishMetrics(reg)
+	}
+	if c.FD != nil {
+		reg.Counter("cluster.fd_detections").Add(int64(c.FD.Detections))
+		reg.Gauge("cluster.fd_max_detect_us").Set(float64(c.FD.MaxDetectionLatency) / 1e3)
+	}
+	return reg
 }
 
 // ProviderFactory builds one transport layer for one shuffle operator pair.
@@ -127,6 +155,12 @@ func (s *splitMix) next() uint64 {
 	return z ^ (z >> 31)
 }
 
+// Phase ids used in EvPhase trace spans.
+const (
+	phaseSetup  = 0 // transport bootstrap: QP creation, wiring, registration
+	phaseStream = 1 // the query proper
+)
+
 // BenchOpts configures a receive-throughput run (§5.1): every node scans a
 // local copy of R and shuffles it on R.a.
 type BenchOpts struct {
@@ -177,6 +211,11 @@ type BenchResult struct {
 	// spent on CPU work (vs blocked on completions, credit, or buffers) in
 	// the sending and receiving fragments — the paper's §5.1.3 profiling.
 	SendBusyFrac, RecvBusyFrac float64
+	// SetupNIC and StreamNIC are per-node NIC counter deltas scoped to the
+	// transport-setup and streaming phases, so multi-phase experiments don't
+	// conflate bootstrap traffic with the query itself. Backlog peaks in
+	// StreamNIC are run-wide maxima (see NICStats.Sub).
+	SetupNIC, StreamNIC []fabric.NICStats
 	// Err is the first transport error; non-nil means the run must restart.
 	Err error
 }
@@ -247,6 +286,8 @@ func (c *Cluster) RunBench(opts BenchOpts) (*BenchResult, error) {
 	sch := tables[0].Sch
 
 	c.Sim.Spawn("bench", func(p *sim.Proc) {
+		tr := c.Net.Tracer()
+		tr.Begin(p.Now(), telemetry.EvPhase, -1, 0, phaseSetup, 0)
 		prov := opts.Factory(p, c)
 		if comm, ok := prov.(*shuffle.Comm); ok {
 			res.SetupTime, res.RegTime = comm.SetupTime, comm.RegTime
@@ -255,7 +296,10 @@ func (c *Cluster) RunBench(opts BenchOpts) (*BenchResult, error) {
 		} else if sr, ok := prov.(setupReporter); ok {
 			res.SetupTime, res.RegTime = sr.Setup()
 		}
+		res.SetupNIC = c.Net.SnapshotStats()
 		start := p.Now()
+		tr.End(start, telemetry.EvPhase, -1, 0, phaseSetup, 0)
+		tr.Begin(start, telemetry.EvPhase, -1, 0, phaseStream, 0)
 		for _, f := range c.onBenchStart {
 			f()
 		}
@@ -302,6 +346,12 @@ func (c *Cluster) RunBench(opts BenchOpts) (*BenchResult, error) {
 				c.FD.Stop()
 			}
 			res.Elapsed = p.Now().Sub(start)
+			tr.End(p.Now(), telemetry.EvPhase, -1, 0, phaseStream, 0)
+			final := c.Net.SnapshotStats()
+			res.StreamNIC = make([]fabric.NICStats, len(final))
+			for i := range final {
+				res.StreamNIC[i] = final[i].Sub(res.SetupNIC[i])
+			}
 			if node0Burn != nil {
 				res.BurnBatches = node0Burn.Batches
 			}

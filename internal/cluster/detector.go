@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"rshuffle/internal/sim"
+	"rshuffle/internal/telemetry"
 )
 
 // DetectorConfig parameterizes the heartbeat failure detector in virtual
@@ -108,6 +109,7 @@ func (d *Detector) schedule() {
 func (d *Detector) step() {
 	now := d.c.Sim.Now()
 	net := d.c.Net
+	net.Tracer().Instant(now, telemetry.EvFDTick, -1, 0, int64(d.Detections), 0)
 	wire := net.Prof.PropagationDelay + net.Prof.SwitchDelay
 	sent := now.Add(-wire)
 	if sent < 0 {
@@ -129,6 +131,7 @@ func (d *Detector) step() {
 			}
 			d.suspected[i][j] = true
 			d.Detections++
+			net.Tracer().Instant(now, telemetry.EvSuspect, int32(i), 0, int64(j), 0)
 			if ct, ok := net.CrashTime(j); ok && ct <= now {
 				if lat := now.Sub(ct); lat > d.MaxDetectionLatency {
 					d.MaxDetectionLatency = lat

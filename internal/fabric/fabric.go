@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rshuffle/internal/sim"
+	"rshuffle/internal/telemetry"
 )
 
 // ControlThreshold is the wire size below which a message rides the NIC's
@@ -39,13 +40,52 @@ type NICStats struct {
 	TxBytes, RxBytes           int64 // payload bytes
 	TxWireBytes                int64
 	QPCacheHits, QPCacheMisses int64
-	UDDropped                  int64
+	// QPCacheEvictions counts QP states pushed out of the NIC cache to make
+	// room for a missed one.
+	QPCacheEvictions int64
+	UDDropped        int64
 	// RCDropped counts injected Reliable Connection losses surfaced to the
 	// verbs layer (which retries them at the transport level).
 	RCDropped int64
 	// RCRetransmits counts packets re-sent after an injected corruption.
 	RCRetransmits int64
 	ReadRequests  int64
+
+	// Per-lane wire-byte split: control-lane messages (wire size at or under
+	// ControlThreshold: credit write-backs, read requests, grant words) versus
+	// bulk data. Congestion claims about the control fast lane are measured
+	// against these, not inferred.
+	TxControlBytes, TxDataBytes int64
+	RxControlBytes, RxDataBytes int64
+
+	// TxBacklogPeak and RxBacklogPeak are switch-port queue-depth high-water
+	// marks, expressed as the longest time a newly arriving message would
+	// have to wait for the uplink serializer (Tx) or the downlink/egress-port
+	// serializer (Rx) to drain ahead of it.
+	TxBacklogPeak, RxBacklogPeak sim.Duration
+}
+
+// Sub returns the counter deltas s - o, for scoping a run phase between two
+// snapshots. The backlog high-water marks are maxima, not sums, so Sub keeps
+// s's values; use Network.ResetStats at a phase boundary to re-arm them.
+func (s NICStats) Sub(o NICStats) NICStats {
+	s.TxMessages -= o.TxMessages
+	s.RxMessages -= o.RxMessages
+	s.TxBytes -= o.TxBytes
+	s.RxBytes -= o.RxBytes
+	s.TxWireBytes -= o.TxWireBytes
+	s.QPCacheHits -= o.QPCacheHits
+	s.QPCacheMisses -= o.QPCacheMisses
+	s.QPCacheEvictions -= o.QPCacheEvictions
+	s.UDDropped -= o.UDDropped
+	s.RCDropped -= o.RCDropped
+	s.RCRetransmits -= o.RCRetransmits
+	s.ReadRequests -= o.ReadRequests
+	s.TxControlBytes -= o.TxControlBytes
+	s.TxDataBytes -= o.TxDataBytes
+	s.RxControlBytes -= o.RxControlBytes
+	s.RxDataBytes -= o.RxDataBytes
+	return s
 }
 
 // nic models one host adapter: an uplink serializer, a downlink serializer,
@@ -86,7 +126,20 @@ type Network struct {
 
 	// faults is the installed fault schedule; empty by default.
 	faults FaultPlan
+
+	// tr is the attached event tracer; nil (the default) disables tracing
+	// at zero cost on the transmit path.
+	tr *telemetry.Tracer
 }
+
+// SetTracer attaches an event tracer; nil detaches it. All layers above the
+// fabric (verbs, shuffle, cluster) reach the tracer through Tracer(), so a
+// single attachment instruments the whole stack.
+func (n *Network) SetTracer(t *telemetry.Tracer) { n.tr = t }
+
+// Tracer returns the attached tracer; nil means tracing is disabled, and a
+// nil *telemetry.Tracer is safe to emit on (every method is a no-op).
+func (n *Network) Tracer() *telemetry.Tracer { return n.tr }
 
 // SetHost attaches an opaque host context to node i.
 func (n *Network) SetHost(i int, h any) {
@@ -121,6 +174,26 @@ func (n *Network) Nodes() int { return len(n.nics) }
 // Stats returns a copy of node i's NIC counters.
 func (n *Network) Stats(i int) NICStats { return n.nics[i].stats }
 
+// SnapshotStats returns a copy of every NIC's counters, for scoping a run
+// phase: subtract two snapshots (NICStats.Sub) to isolate the traffic of
+// the interval between them.
+func (n *Network) SnapshotStats() []NICStats {
+	out := make([]NICStats, len(n.nics))
+	for i, nc := range n.nics {
+		out[i] = nc.stats
+	}
+	return out
+}
+
+// ResetStats zeroes every NIC's counters (including the backlog high-water
+// marks), so multi-phase experiments can account each phase separately
+// instead of conflating setup and stream traffic.
+func (n *Network) ResetStats() {
+	for _, nc := range n.nics {
+		nc.stats = NICStats{}
+	}
+}
+
 // Faults exposes the network's fault schedule for installing rules.
 func (n *Network) Faults() *FaultPlan { return &n.faults }
 
@@ -149,13 +222,19 @@ func (n *Network) InjectUDLoss(node, k int) {
 
 // touch charges the QP-cache cost of accessing qp state on nc and returns
 // the penalty to add to the engine occupancy.
-func (nc *nic) touch(qp uint64, prof *Profile) sim.Duration {
-	if nc.cache.touch(qp) {
+func (n *Network) touch(nc *nic, qp uint64) sim.Duration {
+	hit, victim, evicted := nc.cache.touch(qp)
+	if hit {
 		nc.stats.QPCacheHits++
 		return 0
 	}
 	nc.stats.QPCacheMisses++
-	return prof.QPCacheMissPenalty
+	n.tr.Instant(n.Sim.Now(), telemetry.EvQPCacheMiss, int32(nc.id), qp, 0, 0)
+	if evicted {
+		nc.stats.QPCacheEvictions++
+		n.tr.Instant(n.Sim.Now(), telemetry.EvQPCacheEvict, int32(nc.id), qp, int64(victim), 0)
+	}
+	return n.Prof.QPCacheMissPenalty
 }
 
 // Transmit schedules delivery of m. It may be called from Procs or event
@@ -184,8 +263,11 @@ func (n *Network) Transmit(m *Message) {
 		now = n.faults.pausedUntil(m.From, now)
 		bw *= n.faults.degradeFactor(m.From, m.To, now)
 	}
+	if q := src.txBusy.Sub(now); q > src.stats.TxBacklogPeak {
+		src.stats.TxBacklogPeak = q
+	}
 	// Source NIC: WQE fetch + QP state + serialization onto the uplink.
-	txOcc := prof.WQEProcessing + src.touch(m.FromQP, prof) + Serialize(wire, bw)
+	txOcc := prof.WQEProcessing + n.touch(src, m.FromQP) + Serialize(wire, bw)
 	var txDone sim.Time
 	if control {
 		// NICs arbitrate Queue Pairs round-robin at packet granularity, so a
@@ -211,6 +293,14 @@ func (n *Network) Transmit(m *Message) {
 	src.stats.TxMessages++
 	src.stats.TxBytes += int64(m.Payload)
 	src.stats.TxWireBytes += int64(wire)
+	lane := int64(0)
+	if control {
+		lane = 1
+		src.stats.TxControlBytes += int64(wire)
+	} else {
+		src.stats.TxDataBytes += int64(wire)
+	}
+	n.tr.Instant(txDone, telemetry.EvWire, int32(m.From), m.FromQP, int64(wire), lane)
 	if m.Sent != nil {
 		n.Sim.At(txDone, func() { m.Sent(n.Sim.Now()) })
 	}
@@ -258,15 +348,19 @@ func (n *Network) Transmit(m *Message) {
 			} else {
 				dst.stats.RCDropped++
 			}
+			n.tr.Instant(n.Sim.Now(), telemetry.EvDrop, int32(m.To), m.ToQP, int64(m.Payload), lane)
 			if m.Dropped != nil {
 				m.Dropped()
 			}
 			return
 		}
-		rxOcc := dst.touch(m.ToQP, prof) + Serialize(wire, bw)
+		rxOcc := n.touch(dst, m.ToQP) + Serialize(wire, bw)
 		rnow := n.Sim.Now()
 		if !n.faults.Empty() {
 			rnow = n.faults.pausedUntil(m.To, rnow)
+		}
+		if q := dst.rxBusy.Sub(rnow); q > dst.stats.RxBacklogPeak {
+			dst.stats.RxBacklogPeak = q
 		}
 		var rxDone sim.Time
 		if control {
@@ -299,6 +393,11 @@ func (n *Network) Transmit(m *Message) {
 		}
 		dst.stats.RxMessages++
 		dst.stats.RxBytes += int64(m.Payload)
+		if control {
+			dst.stats.RxControlBytes += int64(wire)
+		} else {
+			dst.stats.RxDataBytes += int64(wire)
+		}
 		n.Sim.At(rxDone.Add(jitter), func() { m.Deliver(n.Sim.Now()) })
 	})
 }
@@ -323,7 +422,10 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 	if !n.faults.Empty() {
 		now = n.faults.pausedUntil(m.From, now)
 	}
-	txOcc := prof.WQEProcessing + src.touch(m.FromQP, prof) + Serialize(wire, prof.LinkBandwidth)
+	if q := src.txBusy.Sub(now); q > src.stats.TxBacklogPeak {
+		src.stats.TxBacklogPeak = q
+	}
+	txOcc := prof.WQEProcessing + n.touch(src, m.FromQP) + Serialize(wire, prof.LinkBandwidth)
 	start := now
 	if src.txBusy > start {
 		start = src.txBusy
@@ -333,6 +435,8 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 	src.stats.TxMessages++
 	src.stats.TxBytes += int64(m.Payload)
 	src.stats.TxWireBytes += int64(wire)
+	src.stats.TxDataBytes += int64(wire)
+	n.tr.Instant(txDone, telemetry.EvWire, int32(m.From), m.FromQP, int64(wire), 0)
 	if m.Sent != nil {
 		n.Sim.At(txDone, func() { m.Sent(n.Sim.Now()) })
 	}
@@ -368,13 +472,17 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 			}
 			if lost {
 				dst.stats.UDDropped++
+				n.tr.Instant(n.Sim.Now(), telemetry.EvDrop, int32(d), m.ToQP, int64(m.Payload), 0)
 				if m.Dropped != nil {
 					m.Dropped()
 				}
 				return
 			}
-			rxOcc := dst.touch(m.ToQP, prof) + Serialize(wire, prof.LinkBandwidth)
+			rxOcc := n.touch(dst, m.ToQP) + Serialize(wire, prof.LinkBandwidth)
 			rstart := n.Sim.Now()
+			if q := dst.rxBusy.Sub(rstart); q > dst.stats.RxBacklogPeak {
+				dst.stats.RxBacklogPeak = q
+			}
 			if dst.rxBusy > rstart {
 				rstart = dst.rxBusy
 			}
@@ -382,6 +490,7 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 			dst.rxBusy = rxDone
 			dst.stats.RxMessages++
 			dst.stats.RxBytes += int64(m.Payload)
+			dst.stats.RxDataBytes += int64(wire)
 			n.Sim.At(rxDone.Add(jitter), func() { deliver(d, n.Sim.Now()) })
 		})
 	}
@@ -392,7 +501,7 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 // the line rate but not the receive downlink.
 func (n *Network) loopback(m *Message) {
 	nc := n.nics[m.From]
-	occ := n.Prof.WQEProcessing + nc.touch(m.FromQP, &n.Prof) +
+	occ := n.Prof.WQEProcessing + n.touch(nc, m.FromQP) +
 		Serialize(m.Payload, n.Prof.LinkBandwidth)
 	start := n.Sim.Now()
 	if nc.txBusy > start {

@@ -287,21 +287,25 @@ func TestStatsAccounting(t *testing.T) {
 
 func TestQPCacheBasics(t *testing.T) {
 	c := newQPCache(2, rand.New(rand.NewSource(1)))
-	if c.touch(1) {
+	hit := func(qp uint64) bool { h, _, _ := c.touch(qp); return h }
+	if hit(1) {
 		t.Fatal("first touch of 1 should miss")
 	}
-	if !c.touch(1) {
+	if !hit(1) {
 		t.Fatal("second touch of 1 should hit")
 	}
-	c.touch(2)
-	if !c.touch(1) || !c.touch(2) {
+	hit(2)
+	if !hit(1) || !hit(2) {
 		t.Fatal("both QPs should fit in a cache of 2")
 	}
-	c.touch(3) // evicts one of {1,2}
+	_, victim, evicted := c.touch(3) // evicts one of {1,2}
+	if !evicted || (victim != 1 && victim != 2) {
+		t.Fatalf("touch(3) evicted=%v victim=%d, want eviction of 1 or 2", evicted, victim)
+	}
 	if c.Len() != 2 {
 		t.Fatalf("cache len = %d, want 2", c.Len())
 	}
-	if !c.touch(3) {
+	if !hit(3) {
 		t.Fatal("3 must be cached right after insertion")
 	}
 }
@@ -314,7 +318,7 @@ func TestQPCacheNoThrashCliff(t *testing.T) {
 	hits, total := 0, 0
 	for round := 0; round < 200; round++ {
 		for qp := uint64(0); qp < 48; qp++ {
-			if c.touch(qp) {
+			if h, _, _ := c.touch(qp); h {
 				hits++
 			}
 			total++

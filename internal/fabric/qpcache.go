@@ -24,21 +24,23 @@ func newQPCache(capacity int, rng *rand.Rand) *qpCache {
 }
 
 // touch reports whether qp was cached, inserting it (evicting a random
-// victim if full) when it was not.
-func (c *qpCache) touch(qp uint64) bool {
+// victim if full) when it was not. On eviction it also returns the evicted
+// QP key for the telemetry layer.
+func (c *qpCache) touch(qp uint64) (hit bool, victim uint64, evicted bool) {
 	if _, ok := c.index[qp]; ok {
-		return true
+		return true, 0, false
 	}
 	if len(c.slots) < c.cap {
 		c.index[qp] = len(c.slots)
 		c.slots = append(c.slots, qp)
-		return false
+		return false, 0, false
 	}
-	victim := c.rng.Intn(c.cap)
-	delete(c.index, c.slots[victim])
-	c.slots[victim] = qp
-	c.index[qp] = victim
-	return false
+	slot := c.rng.Intn(c.cap)
+	victim = c.slots[slot]
+	delete(c.index, victim)
+	c.slots[slot] = qp
+	c.index[qp] = slot
+	return false, victim, true
 }
 
 // Len returns the number of cached QP states.

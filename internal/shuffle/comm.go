@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rshuffle/internal/sim"
+	"rshuffle/internal/telemetry"
 	"rshuffle/internal/verbs"
 )
 
@@ -190,7 +191,11 @@ func Build(p *sim.Proc, devs []*verbs.Device, cfg Config, threads int) *Comm {
 	// ErrPeerFailed. Handlers run in scheduler context and must not block.
 	for a := 0; a < n; a++ {
 		node := c.Nodes[a]
+		self := a
 		node.Dev.OnPeerDown(func(peer int) {
+			tr := node.Dev.Network().Tracer()
+			now := node.Dev.Network().Sim.Now()
+			tr.Instant(now, telemetry.EvDrainPeer, int32(self), 0, int64(peer), 0)
 			for _, s := range node.Send {
 				if pd, ok := s.(PeerDrainer); ok {
 					pd.DrainPeer(peer)
@@ -201,6 +206,7 @@ func Build(p *sim.Proc, devs []*verbs.Device, cfg Config, threads int) *Comm {
 					pd.DrainPeer(peer)
 				}
 			}
+			tr.Instant(now, telemetry.EvClosePeer, int32(self), 0, int64(peer), 0)
 			for _, s := range node.Send {
 				if pd, ok := s.(PeerDrainer); ok {
 					pd.ClosePeer(peer)
@@ -268,4 +274,14 @@ func must(err error) {
 	if err != nil {
 		panic(fmt.Sprintf("shuffle: wiring failed: %v", err))
 	}
+}
+
+// traceCredit records one flow-control write-back (RC credit write, UD
+// credit datagram, read-based free-buffer return, or write-based slot
+// grant) against the node that issued it. A is the peer the grant targets,
+// B the granted value (absolute credit or buffer offset).
+func traceCredit(d *verbs.Device, peer int, value int64) {
+	net := d.Network()
+	net.Tracer().Instant(net.Sim.Now(), telemetry.EvCredit,
+		int32(d.Node()), 0, int64(peer), value)
 }

@@ -479,6 +479,7 @@ func (e *rdRCRecv) writeFree(p *sim.Proc, src, remoteOff int) error {
 			RemoteOffset: e.freeWin[src].base + 8*(idx%e.queueCap),
 		})
 		if err == nil {
+			traceCredit(e.dev, src, int64(remoteOff))
 			return nil
 		}
 		if err == verbs.ErrPeerDown {

@@ -411,6 +411,7 @@ func (e *srRCRecv) writeCredit(p *sim.Proc, src int) error {
 	if err != nil {
 		return fmt.Errorf("%w: credit write: %v", ErrTransport, err)
 	}
+	traceCredit(e.dev, src, int64(e.creditIssued[src]))
 	return nil
 }
 

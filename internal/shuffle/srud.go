@@ -402,6 +402,7 @@ func (e *srUDRecv) sendCredit(p *sim.Proc, src int) error {
 	if err != nil {
 		return fmt.Errorf("%w: UD credit send: %v", ErrTransport, err)
 	}
+	traceCredit(e.dev, src, int64(e.creditIssued[src]))
 	return nil
 }
 

@@ -344,6 +344,7 @@ func (e *wrRCRecv) grant(p *sim.Proc, src, slot int) error {
 			RemoteOffset: e.grantWin[src].base + 8*(idx%e.queueCap),
 		})
 		if err == nil {
+			traceCredit(e.dev, src, int64(slot))
 			break
 		}
 		if err == verbs.ErrPeerDown {

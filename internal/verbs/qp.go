@@ -5,6 +5,7 @@ import (
 
 	"rshuffle/internal/fabric"
 	"rshuffle/internal/sim"
+	"rshuffle/internal/telemetry"
 )
 
 // MaxInline is the largest payload that may be posted with SendWR.Inline.
@@ -126,6 +127,7 @@ func (d *Device) CreateQP(cfg QPConfig) *QP {
 		cfg.MaxRecv = 512
 	}
 	d.nextQPN++
+	d.stats.QPsCreated++
 	qp := &QP{
 		dev: d,
 		qpn: d.nextQPN,
@@ -234,6 +236,10 @@ func (qp *QP) PostSend(p *sim.Proc, wr SendWR) error {
 	if err == nil {
 		qp.outstanding++
 		qp.inflight = append(qp.inflight, inflightWR{wr.ID, wr.Op})
+		// The WR lifecycle span opens at post time and closes when the
+		// completion is generated (complete) or the WR is flushed.
+		qp.dev.tr().Begin(qp.dev.net.Sim.Now(), telemetry.EvWR,
+			int32(qp.dev.node), qp.cacheKey(), int64(wr.ID), int64(wr.Op))
 	}
 	qp.mu.Unlock(p)
 	return err
@@ -251,6 +257,8 @@ func (qp *QP) complete(cq *CQ, e CQE) {
 	}
 	qp.dropInflight(e.WRID, e.Op)
 	qp.outstanding--
+	qp.dev.tr().End(qp.dev.net.Sim.Now(), telemetry.EvWR,
+		int32(qp.dev.node), qp.cacheKey(), int64(e.WRID), int64(e.Status))
 	cq.push(e)
 }
 
@@ -275,12 +283,19 @@ func (qp *QP) enterError(trigger CQE) {
 	}
 	qp.state = QPError
 	qp.dev.stats.QPErrors++
+	now := qp.dev.net.Sim.Now()
+	qp.dev.tr().Instant(now, telemetry.EvQPError,
+		int32(qp.dev.node), qp.cacheKey(), int64(trigger.Status), 0)
 	if qp.dropInflight(trigger.WRID, trigger.Op) {
 		qp.outstanding--
 	}
+	qp.dev.tr().End(now, telemetry.EvWR,
+		int32(qp.dev.node), qp.cacheKey(), int64(trigger.WRID), int64(trigger.Status))
 	qp.cfg.SendCQ.pushFlush(trigger)
 	for _, w := range qp.inflight {
 		qp.outstanding--
+		qp.dev.tr().End(now, telemetry.EvWR,
+			int32(qp.dev.node), qp.cacheKey(), int64(w.id), int64(WCFlushErr))
 		qp.cfg.SendCQ.pushFlush(CQE{QPN: qp.qpn, WRID: w.id, Op: w.op, Status: WCFlushErr})
 	}
 	qp.inflight = nil
@@ -304,8 +319,13 @@ func (qp *QP) forceError(st WCStatus) {
 	}
 	qp.state = QPError
 	qp.dev.stats.QPErrors++
+	now := qp.dev.net.Sim.Now()
+	qp.dev.tr().Instant(now, telemetry.EvQPError,
+		int32(qp.dev.node), qp.cacheKey(), int64(st), 0)
 	for _, w := range qp.inflight {
 		qp.outstanding--
+		qp.dev.tr().End(now, telemetry.EvWR,
+			int32(qp.dev.node), qp.cacheKey(), int64(w.id), int64(st))
 		qp.cfg.SendCQ.pushFlush(CQE{QPN: qp.qpn, WRID: w.id, Op: w.op, Status: st})
 	}
 	qp.inflight = nil
@@ -395,6 +415,8 @@ func (qp *QP) armRetry(msg *fabric.Message, wrID uint64, op Opcode) {
 			return
 		}
 		qp.dev.stats.TransportRetries++
+		qp.dev.tr().Instant(net.Sim.Now(), telemetry.EvTransportRetry,
+			int32(qp.dev.node), qp.cacheKey(), int64(wrID), int64(attempts))
 		net.Sim.After(prof.TransportRetryDelay, func() {
 			if qp.state == QPError || qp.destroyed {
 				return
@@ -472,6 +494,8 @@ func (qp *QP) deliverRC(toNode int, toQPN uint32, payload []byte, wr SendWR) {
 	}
 	if len(rqp.stalled) > 0 || len(rqp.recvQ) == 0 {
 		qp.dev.stats.RNRRetries++
+		qp.dev.tr().Instant(qp.dev.net.Sim.Now(), telemetry.EvRNRRetry,
+			int32(toNode), rqp.cacheKey(), int64(wr.ID), 0)
 		rqp.stalled = append(rqp.stalled, stalledRC{payload: payload, wr: wr, src: qp})
 		rqp.armRNRTimer()
 		return
@@ -538,6 +562,8 @@ func (rqp *QP) rnrTick() {
 	head := &rqp.stalled[0]
 	head.retries++
 	rqp.dev.stats.RNRRetries++
+	rqp.dev.tr().Instant(rqp.dev.net.Sim.Now(), telemetry.EvRNRRetry,
+		int32(rqp.dev.node), rqp.cacheKey(), int64(head.wr.ID), int64(head.retries))
 	if lim := rqp.dev.prof().RNRRetryCount; lim > 0 && head.retries > lim {
 		// rnr_retry exhausted: the sender QP breaks. Every message it has
 		// queued here dies with it (an RC connection is one sender QP).

@@ -18,6 +18,7 @@ import (
 
 	"rshuffle/internal/fabric"
 	"rshuffle/internal/sim"
+	"rshuffle/internal/telemetry"
 )
 
 // GRHSize is the number of bytes reserved at the front of every UD receive
@@ -134,6 +135,9 @@ type DeviceStats struct {
 	// loss; QPErrors counts queue pairs that entered the Error state.
 	TransportRetries int64
 	QPErrors         int64
+	// QPsCreated counts CreateQP calls; the telemetry layer derives the
+	// paper's Table 1 Queue Pair census from it.
+	QPsCreated int64
 }
 
 // Open returns the verbs context for the given node.
@@ -158,7 +162,39 @@ func (d *Device) Network() *fabric.Network { return d.net }
 // Stats returns a copy of the device counters.
 func (d *Device) Stats() DeviceStats { return d.stats }
 
+// PublishMetrics copies the device counters into the registry under
+// "verbs.<metric>.node<i>" names plus "verbs.<metric>.total" aggregates.
+// Publish into a fresh registry per run: counters accumulate.
+func (d *Device) PublishMetrics(reg *telemetry.Registry) {
+	for _, it := range []struct {
+		name string
+		v    int64
+	}{
+		{"posts", d.stats.Posts},
+		{"polls", d.stats.Polls},
+		{"rnr_retries", d.stats.RNRRetries},
+		{"transport_retries", d.stats.TransportRetries},
+		{"ud_no_recv_drops", d.stats.UDNoRecvDrops},
+		{"remote_writes", d.stats.RemoteWrites},
+		{"sends_completed", d.stats.SendsCompleted},
+		{"recvs_completed", d.stats.RecvsCompleted},
+		{"reads_completed", d.stats.ReadsCompleted},
+		{"writes_completed", d.stats.WritesCompleted},
+		{"qp_errors", d.stats.QPErrors},
+		{"qps_created", d.stats.QPsCreated},
+	} {
+		reg.Counter(fmt.Sprintf("verbs.%s.node%d", it.name, d.node)).Add(it.v)
+		reg.Counter("verbs." + it.name + ".total").Add(it.v)
+	}
+	reg.Gauge(fmt.Sprintf("verbs.registered_bytes.node%d", d.node)).Set(float64(d.registered))
+	reg.Gauge(fmt.Sprintf("verbs.peak_registered_bytes.node%d", d.node)).Set(float64(d.peakRegistered))
+}
+
 func (d *Device) prof() *fabric.Profile { return &d.net.Prof }
+
+// tr returns the network's tracer; nil (tracing disabled) is safe to emit
+// on, so callers never branch.
+func (d *Device) tr() *telemetry.Tracer { return d.net.Tracer() }
 
 // MR is a registered memory region. Buf is the pinned memory itself; remote
 // peers address it by (RKey, offset).
@@ -250,6 +286,7 @@ func (d *Device) NotifyPeerDown(peer int) {
 		d.deadPeers = make(map[int]bool)
 	}
 	d.deadPeers[peer] = true
+	d.tr().Instant(d.net.Sim.Now(), telemetry.EvPeerDown, int32(d.node), 0, int64(peer), 0)
 	// QPNs ascend from 1; iterating them in order keeps teardown (and thus
 	// the flush-completion order) deterministic across runs.
 	for qpn := uint32(1); qpn <= d.nextQPN; qpn++ {
@@ -376,6 +413,11 @@ func (cq *CQ) Poll(p *sim.Proc, dst []CQE) int {
 	cq.entries = cq.entries[n:]
 	if len(cq.entries) == 0 {
 		cq.entries = nil
+	}
+	if n > 0 {
+		// Empty polls are the receive loop's idle spin; only fruitful ones
+		// carry timeline information worth a trace slot.
+		cq.dev.tr().Instant(cq.dev.net.Sim.Now(), telemetry.EvCQPoll, int32(cq.dev.node), 0, int64(n), 0)
 	}
 	return n
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-full vet race fmt trace
+.PHONY: build test test-full vet race fmt trace bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -24,10 +24,23 @@ fmt:
 
 # Run a short traced benchmark twice with the same seed and check the
 # exported Chrome traces are byte-identical (the determinism oracle); the
-# trace lands in trace.json for chrome://tracing or Perfetto.
+# trace lands in trace.json for chrome://tracing or Perfetto. The binary is
+# built once and run twice — `go run` would pay the toolchain twice.
 trace:
-	$(GO) run ./cmd/shufflebench -trace trace.json
-	$(GO) run ./cmd/shufflebench -trace trace2.json
-	cmp trace.json trace2.json
-	rm trace2.json
-	@echo "trace deterministic: trace.json"
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp" trace2.json' EXIT; \
+	$(GO) build -o $$tmp/shufflebench ./cmd/shufflebench && \
+	$$tmp/shufflebench -trace trace.json && \
+	$$tmp/shufflebench -trace trace2.json && \
+	cmp trace.json trace2.json && \
+	echo "trace deterministic: trace.json"
+
+# Wall-clock benchmarks: kernel micro (events/sec, ns/dispatch, allocs/event)
+# plus whole-query macro, exported as BENCH_sim.json for regression tracking.
+BENCH_PKGS = ./internal/sim/ ./internal/cluster/
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -o BENCH_sim.json
+
+# CI smoke: every benchmark runs one iteration, proving the harness and the
+# JSON export stay green without paying for steady-state measurements.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -o BENCH_sim.json

@@ -36,6 +36,7 @@ func runExp(b *testing.B, name string) []*experiments.Table {
 		b.Fatalf("unknown experiment %q", name)
 	}
 	var out []*experiments.Table
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		ts, err := e.Run(benchOpts)
 		if err != nil {
@@ -127,6 +128,7 @@ func BenchmarkFig14ScaleOut(b *testing.B) {
 // BenchmarkQperf measures the line-rate reference used throughout §5.
 func BenchmarkQperf(b *testing.B) {
 	var fdr, edr float64
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		fdr = qperf.Run(fabric.FDR(), 64<<10, 1<<30).GiBps()
 		edr = qperf.Run(fabric.EDR(), 64<<10, 1<<30).GiBps()

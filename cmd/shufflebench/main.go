@@ -38,6 +38,7 @@ func main() {
 		chaos   = flag.Bool("chaos", false, "run the fault-injection matrix instead of the experiments")
 		trace   = flag.String("trace", "", "run a short traced benchmark and write Chrome trace-event JSON to this file")
 		metrics = flag.Bool("metrics", false, "regenerate the paper's Table 1 counters from the metrics registry")
+		workers = flag.Int("workers", 0, "simulation cells in flight at once: 1 = serial reference mode, 0 = one per CPU")
 	)
 	flag.Parse()
 
@@ -91,29 +92,76 @@ func main() {
 			names = append(names, e.Name)
 		}
 	}
-	opts := experiments.Options{Fast: !*full, Seed: *seed}
-	mode := "fast"
-	if *full {
-		mode = "full"
-	}
-	fmt.Fprintf(w, "rshuffle evaluation reproduction (%s mode, seed %d)\n\n", mode, *seed)
+	var exps []*experiments.Experiment
 	for _, name := range names {
 		e := experiments.Find(strings.TrimSpace(name))
 		if e == nil {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", name)
 			os.Exit(1)
 		}
-		start := time.Now()
-		tables, err := e.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+		exps = append(exps, e)
+	}
+	experiments.SetParallelism(*workers)
+	opts := experiments.Options{Fast: !*full, Seed: *seed, Workers: *workers}
+	mode := "fast"
+	if *full {
+		mode = "full"
+	}
+	fmt.Fprintf(w, "rshuffle evaluation reproduction (%s mode, seed %d)\n\n", mode, *seed)
+
+	if opts.Workers == 1 {
+		for _, e := range exps {
+			start := time.Now()
+			tables, err := e.Run(opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.Name, err)
+				os.Exit(1)
+			}
+			printTables(w, e.Name, tables, time.Since(start))
+		}
+		return
+	}
+
+	// Overlap whole experiments: each renders into a private buffer and the
+	// buffers are flushed in the order the experiments were requested, so the
+	// report reads identically to a serial run. The process-wide cell budget
+	// keeps at most -workers simulations executing no matter how many
+	// experiments are in flight.
+	type result struct {
+		buf  strings.Builder
+		err  error
+		done chan struct{}
+	}
+	results := make([]*result, len(exps))
+	for i, e := range exps {
+		r := &result{done: make(chan struct{})}
+		results[i] = r
+		go func() {
+			defer close(r.done)
+			start := time.Now()
+			tables, err := e.Run(opts)
+			if err != nil {
+				r.err = err
+				return
+			}
+			printTables(&r.buf, e.Name, tables, time.Since(start))
+		}()
+	}
+	for i, r := range results {
+		<-r.done
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", exps[i].Name, r.err)
 			os.Exit(1)
 		}
-		for _, t := range tables {
-			fmt.Fprintln(w, t.Format())
-		}
-		fmt.Fprintf(w, "  (%s completed in %v wall time)\n\n", e.Name, time.Since(start).Round(time.Millisecond))
+		io.WriteString(w, r.buf.String())
 	}
+}
+
+func printTables(w io.Writer, name string, tables []*experiments.Table, elapsed time.Duration) {
+	for _, t := range tables {
+		fmt.Fprintln(w, t.Format())
+	}
+	fmt.Fprintf(w, "  (%s completed in %v wall time)\n\n", name, elapsed.Round(time.Millisecond))
 }
 
 // runTraced executes a short MEMQ/SR benchmark with the event tracer

@@ -1,0 +1,47 @@
+package cluster
+
+import (
+	"testing"
+
+	"rshuffle/internal/fabric"
+	"rshuffle/internal/shuffle"
+)
+
+// Macro benchmarks: whole shuffle queries on a small FDR cluster, one
+// simulation per iteration. These measure the simulator's wall-clock cost
+// end to end — kernel scheduling, fabric modelling, and the shuffle
+// operators together — complementing the kernel micro-benchmarks in
+// internal/sim. The virtual-time results are deterministic; only wall time
+// and allocations are under test here.
+
+func benchShuffle(b *testing.B, cfg shuffle.Config) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		c := New(fabric.FDR(), 4, 2, 42)
+		res, err := c.RunBench(BenchOpts{
+			Factory: RDMAProvider(cfg), RowsPerNode: 8192,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		events += c.Sim.Events()
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+}
+
+func BenchmarkShuffleMEMQSR(b *testing.B) {
+	benchShuffle(b, shuffle.Config{Impl: shuffle.MQSR, Endpoints: 2})
+}
+
+func BenchmarkShuffleMEMQRD(b *testing.B) {
+	benchShuffle(b, shuffle.Config{Impl: shuffle.MQRD, Endpoints: 2})
+}
+
+func BenchmarkShuffleMESQSR(b *testing.B) {
+	benchShuffle(b, shuffle.Config{Impl: shuffle.SQSR, Endpoints: 2})
+}

@@ -22,6 +22,13 @@ type Options struct {
 	Fast bool
 	// Seed for the simulations.
 	Seed int64
+	// Workers selects the cell execution mode: 1 runs every simulation cell
+	// serially on the calling goroutine (the reference path); any other
+	// value fans independent cells out across a process-wide GOMAXPROCS
+	// worker pool. Both modes produce byte-identical tables — each cell is
+	// its own deterministic Simulation and parallelism only moves wall-clock
+	// time (see pool.go).
+	Workers int
 }
 
 // fills is the steady-state target: how many times each (thread,

@@ -26,6 +26,7 @@ func ExtWrite(o Options) ([]*Table, error) {
 		{Name: "MEMQ/SR", Impl: shuffle.MQSR, ME: true},
 	}
 	var out []*Table
+	cs := cells{o: o}
 	for _, pattern := range []string{"repartition", "broadcast"} {
 		t := &Table{
 			ID:    "Extension: RDMA Write endpoint (" + pattern + ")",
@@ -37,17 +38,20 @@ func ExtWrite(o Options) ([]*Table, error) {
 			t.Cols = append(t.Cols, fmt.Sprintf("%dn", n))
 		}
 		for _, a := range algos {
-			row := Row{Name: a.Name}
+			row := Row{Name: a.Name, Vals: make([]float64, len(nodesSweep))}
 			for i, n := range nodesSweep {
-				groups := shuffle.Repartition(n)
-				if pattern == "broadcast" {
-					groups = shuffle.Broadcast(n)
-				}
-				res, err := o.runThroughput(prof, a.Config(prof.Threads), n, groups, int64(700+i))
-				if err != nil {
-					return nil, fmt.Errorf("%s %s %dn: %w", a.Name, pattern, n, err)
-				}
-				row.Vals = append(row.Vals, res.GiBps())
+				cs.add(func() error {
+					groups := shuffle.Repartition(n)
+					if pattern == "broadcast" {
+						groups = shuffle.Broadcast(n)
+					}
+					res, err := o.runThroughput(prof, a.Config(prof.Threads), n, groups, int64(700+i))
+					if err != nil {
+						return fmt.Errorf("%s %s %dn: %w", a.Name, pattern, n, err)
+					}
+					row.Vals[i] = res.GiBps()
+					return nil
+				})
 			}
 			t.Rows = append(t.Rows, row)
 		}
@@ -55,6 +59,9 @@ func ExtWrite(o Options) ([]*Table, error) {
 			"WR frees send buffers on local completions, so broadcast does not starve for buffer",
 			"returns the way RD does (§5.1.3); data+announcement ride one ordered QP")
 		out = append(out, t)
+	}
+	if err := cs.run(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -69,20 +76,28 @@ func ExtFabrics(o Options) (*Table, error) {
 		Unit:  "GiB/s per node",
 		Cols:  []string{"RoCE", "iWARP"},
 	}
+	profs := []fabric.Profile{fabric.RoCE(), fabric.IWARP()}
+	cs := cells{o: o}
 	for _, a := range shuffle.Algorithms {
-		row := Row{Name: a.Name}
-		for i, prof := range []fabric.Profile{fabric.RoCE(), fabric.IWARP()} {
+		row := Row{Name: a.Name, Vals: make([]float64, len(profs))}
+		for i, prof := range profs {
 			if a.Impl == shuffle.SQSR && !prof.SupportsUD {
-				row.Vals = append(row.Vals, math.NaN())
+				row.Vals[i] = math.NaN()
 				continue
 			}
-			res, err := o.runThroughput(prof, a.Config(prof.Threads), 8, nil, int64(800+i))
-			if err != nil {
-				return nil, fmt.Errorf("%s on %s: %w", a.Name, prof.Name, err)
-			}
-			row.Vals = append(row.Vals, res.GiBps())
+			cs.add(func() error {
+				res, err := o.runThroughput(prof, a.Config(prof.Threads), 8, nil, int64(800+i))
+				if err != nil {
+					return fmt.Errorf("%s on %s: %w", a.Name, prof.Name, err)
+				}
+				row.Vals[i] = res.GiBps()
+				return nil
+			})
 		}
 		t.Rows = append(t.Rows, row)
+	}
+	if err := cs.run(); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"iWARP has no UD service: the SQ/SR designs (including the paper's winner MESQ/SR)",
@@ -104,31 +119,38 @@ func ExtMulticast(o Options) (*Table, error) {
 	for _, n := range nodesSweep {
 		t.Cols = append(t.Cols, fmt.Sprintf("%dn", n))
 	}
+	cs := cells{o: o}
 	for _, hw := range []bool{false, true} {
 		name := "MESQ/SR"
 		if hw {
 			name = "MESQ/SR+mcast"
 		}
-		row := Row{Name: name}
-		tx := Row{Name: name + " txmsgs"}
+		row := Row{Name: name, Vals: make([]float64, len(nodesSweep))}
+		tx := Row{Name: name + " txmsgs", Vals: make([]float64, len(nodesSweep))}
 		for i, n := range nodesSweep {
-			cfg := shuffle.Config{Impl: shuffle.SQSR, Endpoints: prof.Threads, HWMulticast: hw}
-			rows, passes := o.workloadFor(cfg, prof, n, shuffle.Broadcast(n))
-			c := cluster.New(quiet(prof), n, 0, o.Seed+int64(900+i))
-			res, err := c.RunBench(cluster.BenchOpts{
-				Factory: cluster.RDMAProvider(cfg), RowsPerNode: rows, Passes: passes,
-				Groups: shuffle.Broadcast(n),
+			cs.add(func() error {
+				cfg := shuffle.Config{Impl: shuffle.SQSR, Endpoints: prof.Threads, HWMulticast: hw}
+				rows, passes := o.workloadFor(cfg, prof, n, shuffle.Broadcast(n))
+				c := cluster.New(quiet(prof), n, 0, o.Seed+int64(900+i))
+				res, err := c.RunBench(cluster.BenchOpts{
+					Factory: cluster.RDMAProvider(cfg), RowsPerNode: rows, Passes: passes,
+					Groups: shuffle.Broadcast(n),
+				})
+				if err != nil {
+					return err
+				}
+				if res.Err != nil {
+					return res.Err
+				}
+				row.Vals[i] = res.GiBps()
+				tx.Vals[i] = float64(c.Net.Stats(0).TxMessages)
+				return nil
 			})
-			if err != nil {
-				return nil, err
-			}
-			if res.Err != nil {
-				return nil, res.Err
-			}
-			row.Vals = append(row.Vals, res.GiBps())
-			tx.Vals = append(tx.Vals, float64(c.Net.Stats(0).TxMessages))
 		}
 		t.Rows = append(t.Rows, row, tx)
+	}
+	if err := cs.run(); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"the paper hypothesizes multicast reduces CPU cost since MESQ/SR already runs at line",
@@ -150,33 +172,40 @@ func ExtZeroCopy(o Options) (*Table, error) {
 	for _, w := range widths {
 		t.Cols = append(t.Cols, fmt.Sprintf("%dB", w))
 	}
+	cs := cells{o: o}
 	for _, zc := range []bool{false, true} {
 		name := "copy"
 		if zc {
 			name = "zero-copy"
 		}
-		row := Row{Name: name}
+		row := Row{Name: name, Vals: make([]float64, len(widths))}
 		for i, w := range widths {
-			cfg := shuffle.Config{Impl: shuffle.MQSR, Endpoints: prof.Threads}
-			rows, passes := o.workload(cfg, prof, 8)
-			rows = rows * 16 / w // keep byte volume comparable
-			if rows < 200_000 {
-				rows = 200_000
-			}
-			c := cluster.New(quiet(prof), 8, 0, o.Seed+int64(950+i))
-			res, err := c.RunBench(cluster.BenchOpts{
-				Factory: cluster.RDMAProvider(cfg), RowsPerNode: rows, Passes: passes,
-				RowWidth: w, ZeroCopy: zc,
+			cs.add(func() error {
+				cfg := shuffle.Config{Impl: shuffle.MQSR, Endpoints: prof.Threads}
+				rows, passes := o.workload(cfg, prof, 8)
+				rows = rows * 16 / w // keep byte volume comparable
+				if rows < 200_000 {
+					rows = 200_000
+				}
+				c := cluster.New(quiet(prof), 8, 0, o.Seed+int64(950+i))
+				res, err := c.RunBench(cluster.BenchOpts{
+					Factory: cluster.RDMAProvider(cfg), RowsPerNode: rows, Passes: passes,
+					RowWidth: w, ZeroCopy: zc,
+				})
+				if err != nil {
+					return err
+				}
+				if res.Err != nil {
+					return res.Err
+				}
+				row.Vals[i] = res.GiBps()
+				return nil
 			})
-			if err != nil {
-				return nil, err
-			}
-			if res.Err != nil {
-				return nil, res.Err
-			}
-			row.Vals = append(row.Vals, res.GiBps())
 		}
 		t.Rows = append(t.Rows, row)
+	}
+	if err := cs.run(); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"the paper always copies: tuples are ~16-200 B, and zero copy shows little benefit for",
@@ -198,21 +227,28 @@ func ExtQPCache(o Options) (*Table, error) {
 	for _, s := range sizes {
 		t.Cols = append(t.Cols, fmt.Sprintf("%dQPs", s))
 	}
+	cs := cells{o: o}
 	for _, a := range []shuffle.Algorithm{
 		{Name: "MEMQ/SR", Impl: shuffle.MQSR, ME: true},
 		{Name: "MESQ/SR", Impl: shuffle.SQSR, ME: true},
 	} {
-		row := Row{Name: a.Name}
+		row := Row{Name: a.Name, Vals: make([]float64, len(sizes))}
 		for i, size := range sizes {
-			prof := fabric.FDR()
-			prof.QPCacheSize = size
-			res, err := o.runThroughput(prof, a.Config(prof.Threads), 16, nil, int64(980+i))
-			if err != nil {
-				return nil, err
-			}
-			row.Vals = append(row.Vals, res.GiBps())
+			cs.add(func() error {
+				prof := fabric.FDR()
+				prof.QPCacheSize = size
+				res, err := o.runThroughput(prof, a.Config(prof.Threads), 16, nil, int64(980+i))
+				if err != nil {
+					return err
+				}
+				row.Vals[i] = res.GiBps()
+				return nil
+			})
 		}
 		t.Rows = append(t.Rows, row)
+	}
+	if err := cs.run(); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"MEMQ/SR recovers its line-rate throughput once the cache holds its 448 QP states;",
@@ -233,13 +269,22 @@ func ExtProfile(o Options) (*Table, error) {
 		Unit:  "% of worker time on CPU work (rest blocked)",
 		Cols:  []string{"sender", "receiver"},
 	}
-	for _, a := range shuffle.Algorithms {
-		res, err := o.runThroughput(prof, a.Config(prof.Threads), 8, nil, 990)
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, Row{Name: a.Name,
-			Vals: []float64{100 * res.SendBusyFrac, 100 * res.RecvBusyFrac}})
+	t.Rows = make([]Row, len(shuffle.Algorithms))
+	cs := cells{o: o}
+	for ai, a := range shuffle.Algorithms {
+		t.Rows[ai] = Row{Name: a.Name, Vals: make([]float64, 2)}
+		cs.add(func() error {
+			res, err := o.runThroughput(prof, a.Config(prof.Threads), 8, nil, 990)
+			if err != nil {
+				return err
+			}
+			t.Rows[ai].Vals[0] = 100 * res.SendBusyFrac
+			t.Rows[ai].Vals[1] = 100 * res.RecvBusyFrac
+			return nil
+		})
+	}
+	if err := cs.run(); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"paper: senders hash+copy but still idle ~30% of cycles; MEMQ/SR and MESQ/SR block on",
@@ -265,29 +310,36 @@ func ExtSkew(o Options) (*Table, error) {
 		}
 		t.Cols = append(t.Cols, label)
 	}
+	cs := cells{o: o}
 	for _, a := range []shuffle.Algorithm{
 		{Name: "MESQ/SR", Impl: shuffle.SQSR, ME: true},
 		{Name: "MEMQ/SR", Impl: shuffle.MQSR, ME: true},
 		{Name: "MEMQ/RD", Impl: shuffle.MQRD, ME: true},
 	} {
-		row := Row{Name: a.Name}
+		row := Row{Name: a.Name, Vals: make([]float64, len(exps))}
 		for i, ex := range exps {
-			cfg := a.Config(prof.Threads)
-			rows, passes := o.workload(cfg, prof, 8)
-			c := cluster.New(quiet(prof), 8, 0, o.Seed+int64(1100+i))
-			res, err := c.RunBench(cluster.BenchOpts{
-				Factory: cluster.RDMAProvider(cfg), RowsPerNode: rows, Passes: passes,
-				ZipfExponent: ex,
+			cs.add(func() error {
+				cfg := a.Config(prof.Threads)
+				rows, passes := o.workload(cfg, prof, 8)
+				c := cluster.New(quiet(prof), 8, 0, o.Seed+int64(1100+i))
+				res, err := c.RunBench(cluster.BenchOpts{
+					Factory: cluster.RDMAProvider(cfg), RowsPerNode: rows, Passes: passes,
+					ZipfExponent: ex,
+				})
+				if err != nil {
+					return err
+				}
+				if res.Err != nil {
+					return res.Err
+				}
+				row.Vals[i] = res.GiBps()
+				return nil
 			})
-			if err != nil {
-				return nil, err
-			}
-			if res.Err != nil {
-				return nil, res.Err
-			}
-			row.Vals = append(row.Vals, res.GiBps())
 		}
 		t.Rows = append(t.Rows, row)
+	}
+	if err := cs.run(); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"skew concentrates traffic on hot receivers whose downlinks saturate while others idle;",

@@ -19,6 +19,7 @@ var CreditFrequencies = []int{1, 2, 3, 4, 8, 16}
 // MPI and qperf reference lines, for FDR (a) and EDR (b).
 func Fig08(o Options) ([]*Table, error) {
 	var out []*Table
+	cs := cells{o: o}
 	for _, prof := range []fabric.Profile{fabric.FDR(), fabric.EDR()} {
 		sub := "(a)"
 		if prof.Name == "EDR" {
@@ -33,36 +34,50 @@ func Fig08(o Options) ([]*Table, error) {
 			t.Cols = append(t.Cols, fmt.Sprintf("f=%d", f))
 		}
 		for _, a := range fourSRAlgos {
-			row := Row{Name: a.Name}
+			row := Row{Name: a.Name, Vals: make([]float64, len(CreditFrequencies))}
 			for i, f := range CreditFrequencies {
-				cfg := a.Config(prof.Threads)
-				cfg.CreditFrequency = f
-				res, err := o.runThroughput(prof, cfg, 8, nil, int64(i))
-				if err != nil {
-					return nil, fmt.Errorf("%s f=%d: %w", a.Name, f, err)
-				}
-				row.Vals = append(row.Vals, res.GiBps())
+				cs.add(func() error {
+					cfg := a.Config(prof.Threads)
+					cfg.CreditFrequency = f
+					res, err := o.runThroughput(prof, cfg, 8, nil, int64(i))
+					if err != nil {
+						return fmt.Errorf("%s f=%d: %w", a.Name, f, err)
+					}
+					row.Vals[i] = res.GiBps()
+					return nil
+				})
 			}
 			t.Rows = append(t.Rows, row)
 		}
 
 		// Reference lines: MPI (frequency-independent) and qperf.
-		rows, passes := o.workload(shuffle.Config{Impl: shuffle.MQSR}, prof, 8)
-		mres, err := o.runFactory(prof, cluster.MPIProvider(mpi.Config{}), 8, rows, passes, nil, 99)
-		if err != nil {
-			return nil, err
-		}
-		mrow := Row{Name: "MPI"}
-		qrow := Row{Name: "qperf"}
-		q := qperf.Run(prof, 64<<10, 1<<30).GiBps()
-		for range CreditFrequencies {
-			mrow.Vals = append(mrow.Vals, mres.GiBps())
-			qrow.Vals = append(qrow.Vals, q)
-		}
+		mrow := Row{Name: "MPI", Vals: make([]float64, len(CreditFrequencies))}
+		qrow := Row{Name: "qperf", Vals: make([]float64, len(CreditFrequencies))}
+		cs.add(func() error {
+			rows, passes := o.workload(shuffle.Config{Impl: shuffle.MQSR}, prof, 8)
+			mres, err := o.runFactory(prof, cluster.MPIProvider(mpi.Config{}), 8, rows, passes, nil, 99)
+			if err != nil {
+				return err
+			}
+			for i := range mrow.Vals {
+				mrow.Vals[i] = mres.GiBps()
+			}
+			return nil
+		})
+		cs.add(func() error {
+			q := qperf.Run(prof, 64<<10, 1<<30).GiBps()
+			for i := range qrow.Vals {
+				qrow.Vals[i] = q
+			}
+			return nil
+		})
 		t.Rows = append(t.Rows, mrow, qrow)
 		t.Notes = append(t.Notes,
 			"paper: degradation from the credit mechanism is not significant; frequency fixed to 2")
 		out = append(out, t)
+	}
+	if err := cs.run(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -99,27 +114,34 @@ func Fig09(o Options) ([]*Table, error) {
 		thr.Cols = append(thr.Cols, col)
 		mem.Cols = append(mem.Cols, col)
 	}
+	cs := cells{o: o}
 	for _, a := range algos {
-		trow := Row{Name: a.Name}
-		mrow := Row{Name: a.Name}
+		trow := Row{Name: a.Name, Vals: make([]float64, len(sizes))}
+		mrow := Row{Name: a.Name, Vals: make([]float64, len(sizes))}
 		for i, s := range sizes {
-			cfg := a.Config(prof.Threads)
-			cfg.BufSize = s
 			if a.Impl == shuffle.SQSR && s != sizes[0] {
 				// UD is capped at the MTU: a single point, as in the paper.
-				trow.Vals = append(trow.Vals, math.NaN())
-				mrow.Vals = append(mrow.Vals, math.NaN())
+				trow.Vals[i] = math.NaN()
+				mrow.Vals[i] = math.NaN()
 				continue
 			}
-			res, err := o.runThroughput(prof, cfg, 8, nil, int64(100+i))
-			if err != nil {
-				return nil, fmt.Errorf("%s size=%d: %w", a.Name, s, err)
-			}
-			trow.Vals = append(trow.Vals, res.GiBps())
-			mrow.Vals = append(mrow.Vals, float64(res.SendMemoryPerNode)/(1<<20))
+			cs.add(func() error {
+				cfg := a.Config(prof.Threads)
+				cfg.BufSize = s
+				res, err := o.runThroughput(prof, cfg, 8, nil, int64(100+i))
+				if err != nil {
+					return fmt.Errorf("%s size=%d: %w", a.Name, s, err)
+				}
+				trow.Vals[i] = res.GiBps()
+				mrow.Vals[i] = float64(res.SendMemoryPerNode) / (1 << 20)
+				return nil
+			})
 		}
 		thr.Rows = append(thr.Rows, trow)
 		mem.Rows = append(mem.Rows, mrow)
+	}
+	if err := cs.run(); err != nil {
+		return nil, err
 	}
 	thr.Notes = append(thr.Notes,
 		"paper: SE throughput rises with message size then drops past the peak; ME stays stable",

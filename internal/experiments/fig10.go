@@ -20,6 +20,7 @@ var ScaleOutNodes = []int{2, 4, 8, 16}
 // broadcast patterns on both FDR and EDR.
 func Fig10(o Options) ([]*Table, error) {
 	var out []*Table
+	cs := cells{o: o}
 	subs := []string{"(a)", "(b)", "(c)", "(d)"}
 	si := 0
 	for _, prof := range []fabric.Profile{fabric.FDR(), fabric.EDR()} {
@@ -40,14 +41,17 @@ func Fig10(o Options) ([]*Table, error) {
 				return shuffle.Repartition(n)
 			}
 			for _, a := range shuffle.Algorithms {
-				row := Row{Name: a.Name}
+				row := Row{Name: a.Name, Vals: make([]float64, len(ScaleOutNodes))}
 				for i, n := range ScaleOutNodes {
-					cfg := a.Config(prof.Threads)
-					res, err := o.runThroughput(prof, cfg, n, groupsFor(n), int64(200+i))
-					if err != nil {
-						return nil, fmt.Errorf("%s %s %dn: %w", a.Name, pattern, n, err)
-					}
-					row.Vals = append(row.Vals, res.GiBps())
+					cs.add(func() error {
+						cfg := a.Config(prof.Threads)
+						res, err := o.runThroughput(prof, cfg, n, groupsFor(n), int64(200+i))
+						if err != nil {
+							return fmt.Errorf("%s %s %dn: %w", a.Name, pattern, n, err)
+						}
+						row.Vals[i] = res.GiBps()
+						return nil
+					})
 				}
 				t.Rows = append(t.Rows, row)
 			}
@@ -58,28 +62,37 @@ func Fig10(o Options) ([]*Table, error) {
 				{"MPI", cluster.MPIProvider(mpi.Config{})},
 				{"IPoIB", cluster.IPoIBProvider(ipoib.Config{})},
 			} {
-				row := Row{Name: base.name}
+				row := Row{Name: base.name, Vals: make([]float64, len(ScaleOutNodes))}
 				for i, n := range ScaleOutNodes {
-					rows, passes := o.workloadFor(shuffle.Config{Impl: shuffle.MQSR}, prof, n, groupsFor(n))
-					res, err := o.runFactory(prof, base.f, n, rows, passes, groupsFor(n), int64(300+i))
-					if err != nil {
-						return nil, fmt.Errorf("%s %s %dn: %w", base.name, pattern, n, err)
-					}
-					row.Vals = append(row.Vals, res.GiBps())
+					cs.add(func() error {
+						rows, passes := o.workloadFor(shuffle.Config{Impl: shuffle.MQSR}, prof, n, groupsFor(n))
+						res, err := o.runFactory(prof, base.f, n, rows, passes, groupsFor(n), int64(300+i))
+						if err != nil {
+							return fmt.Errorf("%s %s %dn: %w", base.name, pattern, n, err)
+						}
+						row.Vals[i] = res.GiBps()
+						return nil
+					})
 				}
 				t.Rows = append(t.Rows, row)
 			}
 			if pattern == "repartition" {
-				q := qperf.Run(prof, 64<<10, 1<<30).GiBps()
-				row := Row{Name: "qperf"}
-				for range ScaleOutNodes {
-					row.Vals = append(row.Vals, q)
-				}
+				row := Row{Name: "qperf", Vals: make([]float64, len(ScaleOutNodes))}
+				cs.add(func() error {
+					q := qperf.Run(prof, 64<<10, 1<<30).GiBps()
+					for i := range row.Vals {
+						row.Vals[i] = q
+					}
+					return nil
+				})
 				t.Rows = append(t.Rows, row)
 				t.Notes = append(t.Notes, "qperf measures a single pair and is shown as a constant line")
 			}
 			out = append(out, t)
 		}
+	}
+	if err := cs.run(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -106,19 +119,26 @@ func Fig11(o Options) (*Table, error) {
 	for _, e := range endpoints {
 		t.Cols = append(t.Cols, fmt.Sprintf("e=%d", e))
 	}
+	cs := cells{o: o}
 	for _, im := range impls {
-		row := Row{Name: im.name}
-		qps := Row{Name: im.name + " QPs"}
+		row := Row{Name: im.name, Vals: make([]float64, len(endpoints))}
+		qps := Row{Name: im.name + " QPs", Vals: make([]float64, len(endpoints))}
 		for i, e := range endpoints {
-			cfg := shuffle.Config{Impl: im.impl, Endpoints: e}
-			res, err := o.runThroughput(prof, cfg, 16, nil, int64(400+i))
-			if err != nil {
-				return nil, fmt.Errorf("%s e=%d: %w", im.name, e, err)
-			}
-			row.Vals = append(row.Vals, res.GiBps())
-			qps.Vals = append(qps.Vals, float64(res.QPsPerOperator))
+			cs.add(func() error {
+				cfg := shuffle.Config{Impl: im.impl, Endpoints: e}
+				res, err := o.runThroughput(prof, cfg, 16, nil, int64(400+i))
+				if err != nil {
+					return fmt.Errorf("%s e=%d: %w", im.name, e, err)
+				}
+				row.Vals[i] = res.GiBps()
+				qps.Vals[i] = float64(res.QPsPerOperator)
+				return nil
+			})
 		}
 		t.Rows = append(t.Rows, row, qps)
+	}
+	if err := cs.run(); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"QPs per operator: e for SQ, e*n for MQ — the paper's x-axis values 1,2,7,14,16,32,112,224",
@@ -139,21 +159,23 @@ func Fig12(o Options) (*Table, error) {
 	for _, n := range sizes {
 		t.Cols = append(t.Cols, fmt.Sprintf("%dn", n))
 	}
+	cs := cells{o: o}
 	for _, a := range shuffle.Algorithms {
-		row := Row{Name: a.Name}
-		for _, n := range sizes {
-			c := cluster.New(quiet(prof), n, 0, o.Seed)
-			var setup float64
-			c.Sim.Spawn("setup", func(p *sim.Proc) {
-				comm := shuffle.Build(p, c.Devs, a.Config(prof.Threads), c.Threads)
-				setup = comm.SetupTime.Seconds() * 1e3
+		row := Row{Name: a.Name, Vals: make([]float64, len(sizes))}
+		for i, n := range sizes {
+			cs.add(func() error {
+				c := cluster.New(quiet(prof), n, 0, o.Seed)
+				c.Sim.Spawn("setup", func(p *sim.Proc) {
+					comm := shuffle.Build(p, c.Devs, a.Config(prof.Threads), c.Threads)
+					row.Vals[i] = comm.SetupTime.Seconds() * 1e3
+				})
+				return c.Sim.Run()
 			})
-			if err := c.Sim.Run(); err != nil {
-				return nil, err
-			}
-			row.Vals = append(row.Vals, setup)
 		}
 		t.Rows = append(t.Rows, row)
+	}
+	if err := cs.run(); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"paper: ME algorithms connect more endpoints than SE; MQ grows linearly with cluster size,",

@@ -50,8 +50,9 @@ func Fig13(o Options) (*Table, error) {
 		entry{"IPoIB", cluster.IPoIBProvider(ipoib.Config{}), shuffle.Config{Impl: shuffle.MQSR}},
 	)
 
+	cs := cells{o: o}
 	for _, e := range entries {
-		row := Row{Name: e.name}
+		row := Row{Name: e.name, Vals: make([]float64, len(BurnSweep))}
 		rows, passes := o.workload(e.cfg, prof, 8)
 		// This experiment also needs enough 32 KiB batches per receiving
 		// thread that per-thread quantization does not mask the overlap.
@@ -63,40 +64,46 @@ func Fig13(o Options) (*Table, error) {
 			rows, passes = need, 1
 		}
 		for i, burn := range BurnSweep {
-			c := cluster.New(quiet(prof), 8, 0, o.Seed+int64(500+i))
-			// The x-axis is the fragment-wide batch-retrieval interval: all
-			// threads snatch batches concurrently, so each thread's
-			// per-batch burn is threads times the interval.
-			res, err := c.RunBench(cluster.BenchOpts{
-				Factory: e.f, RowsPerNode: rows, Passes: passes,
-				BurnPerBatch: burn * sim.Duration(prof.Threads), ReceiveBatchBytes: batchBytes,
+			cs.add(func() error {
+				c := cluster.New(quiet(prof), 8, 0, o.Seed+int64(500+i))
+				// The x-axis is the fragment-wide batch-retrieval interval: all
+				// threads snatch batches concurrently, so each thread's
+				// per-batch burn is threads times the interval.
+				res, err := c.RunBench(cluster.BenchOpts{
+					Factory: e.f, RowsPerNode: rows, Passes: passes,
+					BurnPerBatch: burn * sim.Duration(prof.Threads), ReceiveBatchBytes: batchBytes,
+				})
+				if err != nil {
+					return fmt.Errorf("%s burn=%v: %w", e.name, burn, err)
+				}
+				if res.Err != nil {
+					return fmt.Errorf("%s burn=%v: %w", e.name, burn, res.Err)
+				}
+				// Processing throughput of the receiving fragment: t threads
+				// each consuming one 32 KiB batch per burn period.
+				rel := 100.0
+				if burn > 0 {
+					// Actual burn periods on node 0 (counting partial tail
+					// batches), spread over the fragment's threads.
+					perThreadBurn := burn * sim.Duration(prof.Threads)
+					computeTime := float64(res.BurnBatches) * perThreadBurn.Seconds() / float64(prof.Threads)
+					rel = 100 * computeTime / res.Elapsed.Seconds()
+				} else {
+					// Network-bound leftmost point: shuffle throughput relative
+					// to the fragment's peak consumption rate (~50 GiB/s).
+					rel = 100 * res.GiBps() / 50
+				}
+				if rel > 100 {
+					rel = 100
+				}
+				row.Vals[i] = rel
+				return nil
 			})
-			if err != nil {
-				return nil, fmt.Errorf("%s burn=%v: %w", e.name, burn, err)
-			}
-			if res.Err != nil {
-				return nil, fmt.Errorf("%s burn=%v: %w", e.name, burn, res.Err)
-			}
-			// Processing throughput of the receiving fragment: t threads
-			// each consuming one 32 KiB batch per burn period.
-			rel := 100.0
-			if burn > 0 {
-				// Actual burn periods on node 0 (counting partial tail
-				// batches), spread over the fragment's threads.
-				perThreadBurn := burn * sim.Duration(prof.Threads)
-				computeTime := float64(res.BurnBatches) * perThreadBurn.Seconds() / float64(prof.Threads)
-				rel = 100 * computeTime / res.Elapsed.Seconds()
-			} else {
-				// Network-bound leftmost point: shuffle throughput relative
-				// to the fragment's peak consumption rate (~50 GiB/s).
-				rel = 100 * res.GiBps() / 50
-			}
-			if rel > 100 {
-				rel = 100
-			}
-			row.Vals = append(row.Vals, rel)
 		}
 		t.Rows = append(t.Rows, row)
+	}
+	if err := cs.run(); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"paper: all algorithms are network-bound at the left; MQ/SR and MESQ/SR reach 100% first,",

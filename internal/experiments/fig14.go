@@ -37,29 +37,41 @@ func Fig14a(o Options) (*Table, error) {
 		Cols:  []string{"FDR", "EDR"},
 	}
 	rows := map[string]*Row{
-		"MPI":        {Name: "MPI"},
-		"MESQ/SR":    {Name: "MESQ/SR"},
-		"local data": {Name: "local data"},
+		"MPI":        {Name: "MPI", Vals: make([]float64, 2)},
+		"MESQ/SR":    {Name: "MESQ/SR", Vals: make([]float64, 2)},
+		"local data": {Name: "local data", Vals: make([]float64, 2)},
 	}
-	for _, prof := range []fabric.Profile{fabric.FDR(), fabric.EDR()} {
-		sf := o.sfPerNode() * 8
-		db := tpch.Generate(sf, 8, tpch.Random, o.Seed)
-		dbLocal := tpch.Generate(sf, 8, tpch.CoPartitioned, o.Seed)
-
-		mres := tpch.RunQ4(cluster.New(quiet(prof), 8, 0, o.Seed), db,
-			cluster.MPIProvider(mpi.Config{}), false)
-		rres := tpch.RunQ4(cluster.New(quiet(prof), 8, 0, o.Seed), db,
-			mesqFactory(prof.Threads), false)
-		lres := tpch.RunQ4(cluster.New(quiet(prof), 8, 0, o.Seed), dbLocal,
-			mesqFactory(prof.Threads), true)
-		for name, r := range map[string]*tpch.QueryResult{
-			"MPI": mres, "MESQ/SR": rres, "local data": lres,
-		} {
-			if r.Err != nil {
-				return nil, fmt.Errorf("Q4 %s on %s: %w", name, prof.Name, r.Err)
-			}
-			rows[name].Vals = append(rows[name].Vals, r.Elapsed.Seconds()*1e3)
+	plans := []struct {
+		name  string
+		part  tpch.Layout
+		local bool
+	}{
+		{"MPI", tpch.Random, false},
+		{"MESQ/SR", tpch.Random, false},
+		{"local data", tpch.CoPartitioned, true},
+	}
+	cs := cells{o: o}
+	for pi, prof := range []fabric.Profile{fabric.FDR(), fabric.EDR()} {
+		// One cell per (profile, plan); each generates its own database so
+		// cells stay independent.
+		for _, pl := range plans {
+			cs.add(func() error {
+				db := tpch.Generate(o.sfPerNode()*8, 8, pl.part, o.Seed)
+				f := mesqFactory(prof.Threads)
+				if pl.name == "MPI" {
+					f = cluster.MPIProvider(mpi.Config{})
+				}
+				r := tpch.RunQ4(cluster.New(quiet(prof), 8, 0, o.Seed), db, f, pl.local)
+				if r.Err != nil {
+					return fmt.Errorf("Q4 %s on %s: %w", pl.name, prof.Name, r.Err)
+				}
+				rows[pl.name].Vals[pi] = r.Elapsed.Seconds() * 1e3
+				return nil
+			})
 		}
+	}
+	if err := cs.run(); err != nil {
+		return nil, err
 	}
 	t.Rows = []Row{*rows["MPI"], *rows["MESQ/SR"], *rows["local data"]}
 	t.Notes = append(t.Notes,
@@ -89,6 +101,7 @@ func Fig14bcd(o Options) ([]*Table, error) {
 		{"Figure 14(d)", "TPC-H Q10", tpch.RunQ10, false},
 	}
 	var out []*Table
+	cs := cells{o: o}
 	for _, q := range defs {
 		t := &Table{
 			ID:    q.id,
@@ -98,32 +111,35 @@ func Fig14bcd(o Options) ([]*Table, error) {
 		for _, n := range nodes {
 			t.Cols = append(t.Cols, fmt.Sprintf("%dn", n))
 		}
-		mpiRow := Row{Name: "MPI"}
-		rdmaRow := Row{Name: "MESQ/SR"}
-		localRow := Row{Name: "local data"}
-		for _, n := range nodes {
-			sf := o.sfPerNode() * float64(n)
-			db := tpch.Generate(sf, n, tpch.Random, o.Seed)
-			m := q.run(cluster.New(quiet(prof), n, 0, o.Seed), db,
-				cluster.MPIProvider(mpi.Config{}))
-			r := q.run(cluster.New(quiet(prof), n, 0, o.Seed), db,
-				mesqFactory(prof.Threads))
-			if m.Err != nil || r.Err != nil {
-				return nil, fmt.Errorf("%s at %dn: mpi=%v rdma=%v", q.name, n, m.Err, r.Err)
-			}
-			mpiRow.Vals = append(mpiRow.Vals, m.Elapsed.Seconds()*1e3)
-			rdmaRow.Vals = append(rdmaRow.Vals, r.Elapsed.Seconds()*1e3)
-			if q.local {
+		mpiRow := Row{Name: "MPI", Vals: make([]float64, len(nodes))}
+		rdmaRow := Row{Name: "MESQ/SR", Vals: make([]float64, len(nodes))}
+		localRow := Row{Name: "local data", Vals: make([]float64, len(nodes))}
+		for i, n := range nodes {
+			cs.add(func() error {
+				sf := o.sfPerNode() * float64(n)
+				db := tpch.Generate(sf, n, tpch.Random, o.Seed)
+				m := q.run(cluster.New(quiet(prof), n, 0, o.Seed), db,
+					cluster.MPIProvider(mpi.Config{}))
+				r := q.run(cluster.New(quiet(prof), n, 0, o.Seed), db,
+					mesqFactory(prof.Threads))
+				if m.Err != nil || r.Err != nil {
+					return fmt.Errorf("%s at %dn: mpi=%v rdma=%v", q.name, n, m.Err, r.Err)
+				}
+				mpiRow.Vals[i] = m.Elapsed.Seconds() * 1e3
+				rdmaRow.Vals[i] = r.Elapsed.Seconds() * 1e3
+				if !q.local {
+					localRow.Vals[i] = math.NaN()
+					return nil
+				}
 				dbl := tpch.Generate(sf, n, tpch.CoPartitioned, o.Seed)
 				l := tpch.RunQ4(cluster.New(quiet(prof), n, 0, o.Seed), dbl,
 					mesqFactory(prof.Threads), true)
 				if l.Err != nil {
-					return nil, fmt.Errorf("%s local at %dn: %v", q.name, n, l.Err)
+					return fmt.Errorf("%s local at %dn: %v", q.name, n, l.Err)
 				}
-				localRow.Vals = append(localRow.Vals, l.Elapsed.Seconds()*1e3)
-			} else {
-				localRow.Vals = append(localRow.Vals, math.NaN())
-			}
+				localRow.Vals[i] = l.Elapsed.Seconds() * 1e3
+				return nil
+			})
 		}
 		t.Rows = []Row{mpiRow, rdmaRow}
 		if q.local {
@@ -134,6 +150,9 @@ func Fig14bcd(o Options) ([]*Table, error) {
 		t.Notes = append(t.Notes,
 			"paper: MESQ/SR scales better than MPI — ~70% faster for Q4, ~55% for Q3, ~2x for Q10 at 16 nodes")
 		out = append(out, t)
+	}
+	if err := cs.run(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -149,24 +168,33 @@ func Table1(o Options) (*Table, error) {
 		Cols:  []string{"QPs/node"},
 	}
 	prof := fabric.EDR()
-	for _, a := range shuffle.Algorithms {
-		c := cluster.New(quiet(prof), n, threads, o.Seed)
-		var qps int
-		c.Sim.Spawn("census", func(p *sim.Proc) {
-			qps = shuffle.Build(p, c.Devs, a.Config(threads), threads).QPsPerOperator
+	t.Rows = make([]Row, len(shuffle.Algorithms))
+	cs := cells{o: o}
+	for ai, a := range shuffle.Algorithms {
+		t.Rows[ai] = Row{Name: a.Name, Vals: make([]float64, 1)}
+		cs.add(func() error {
+			c := cluster.New(quiet(prof), n, threads, o.Seed)
+			var qps int
+			c.Sim.Spawn("census", func(p *sim.Proc) {
+				qps = shuffle.Build(p, c.Devs, a.Config(threads), threads).QPsPerOperator
+			})
+			if err := c.Sim.Run(); err != nil {
+				return err
+			}
+			want := map[string]int{
+				"MEMQ/SR": n * threads, "MEMQ/RD": n * threads,
+				"SEMQ/SR": n, "SEMQ/RD": n,
+				"MESQ/SR": threads, "SESQ/SR": 1,
+			}[a.Name]
+			if qps != want {
+				return fmt.Errorf("%s: built %d QPs per operator, Table 1 says %d", a.Name, qps, want)
+			}
+			t.Rows[ai].Vals[0] = float64(qps)
+			return nil
 		})
-		if err := c.Sim.Run(); err != nil {
-			return nil, err
-		}
-		want := map[string]int{
-			"MEMQ/SR": n * threads, "MEMQ/RD": n * threads,
-			"SEMQ/SR": n, "SEMQ/RD": n,
-			"MESQ/SR": threads, "SESQ/SR": 1,
-		}[a.Name]
-		if qps != want {
-			return nil, fmt.Errorf("%s: built %d QPs per operator, Table 1 says %d", a.Name, qps, want)
-		}
-		t.Rows = append(t.Rows, Row{Name: a.Name, Vals: []float64{float64(qps)}})
+	}
+	if err := cs.run(); err != nil {
+		return nil, err
 	}
 	t.Notes = append(t.Notes,
 		"contention: none (ME), moderate (SEMQ), excessive (SESQ); messaging: RC round-trip w/ hardware",

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Every cell of every exhibit — one (experiment, configuration, seed)
+// simulation — is independent: it owns a private Simulation, Network, and
+// device set, and a Simulation is single-goroutine-deterministic (exactly
+// one Proc runs at a time, scheduled by virtual time and sequence number,
+// never by the Go scheduler). Cells therefore parallelize across OS cores
+// without changing a single virtual-time result; only wall-clock time moves.
+//
+// cellSlots is the process-wide budget of concurrently executing cells.
+// It is shared by every exhibit so that shufflebench can also overlap whole
+// experiments without oversubscribing the machine: however many experiments
+// are in flight, at most GOMAXPROCS simulations run at once.
+var cellSlots = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// SetParallelism resizes the process-wide cell budget. n < 1 restores the
+// default of one slot per CPU. It must be called before any experiment
+// starts (shufflebench calls it once at startup); resizing mid-flight would
+// strand in-use slots.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	cellSlots = make(chan struct{}, n)
+}
+
+// runJobs executes one exhibit's simulation cells. jobs must be appended in
+// the exhibit's natural (serial) order; each job writes its results into
+// cells it owns exclusively (preallocated Row.Vals slots), so the assembled
+// tables are byte-identical to a serial run regardless of completion order.
+//
+// Workers == 1 runs the jobs in order on the calling goroutine — the serial
+// reference path. Any other value fans every job out to its own goroutine,
+// gated by cellSlots. On failure the error returned is the earliest job's
+// error, matching what the serial run would have reported.
+func (o Options) runJobs(jobs []func() error) error {
+	if o.Workers == 1 || len(jobs) <= 1 {
+		for _, job := range jobs {
+			if err := job(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	wg.Add(len(jobs))
+	for i, job := range jobs {
+		go func() {
+			defer wg.Done()
+			cellSlots <- struct{}{}
+			defer func() { <-cellSlots }()
+			errs[i] = job()
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cells accumulates an exhibit's independent simulation jobs while the
+// driver lays out its tables, then executes them through the pool.
+type cells struct {
+	o    Options
+	jobs []func() error
+}
+
+func (c *cells) add(job func() error) { c.jobs = append(c.jobs, job) }
+func (c *cells) run() error           { return c.o.runJobs(c.jobs) }

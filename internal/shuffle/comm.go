@@ -2,6 +2,7 @@ package shuffle
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"rshuffle/internal/sim"
 	"rshuffle/internal/telemetry"
@@ -262,13 +263,13 @@ func (c *Comm) SendEndpoints(node int) []SendEndpoint { return c.Nodes[node].Sen
 func (c *Comm) RecvEndpoints(node int) []RecvEndpoint { return c.Nodes[node].Recv }
 
 // mgidSeq hands out process-unique multicast group ids; the value never
-// affects timing, only identity.
-var mgidSeq uint32
+// affects timing, only identity. It is atomic because independent
+// simulations may build communication layers concurrently (the parallel
+// experiment driver); within one simulation the ids are still assigned in
+// deterministic order.
+var mgidSeq atomic.Uint32
 
-func nextMGID() uint32 {
-	mgidSeq++
-	return mgidSeq
-}
+func nextMGID() uint32 { return mgidSeq.Add(1) }
 
 func must(err error) {
 	if err != nil {

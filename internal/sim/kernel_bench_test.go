@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// Kernel microbenchmarks: the per-event scheduling cost is the wall-clock
+// price of every figure, chaos matrix, and CI run, so each path gets its own
+// number. allocs/op is the regression guard for the event free list (the
+// hot paths must stay at 0), ns/op is the dispatch cost, and events/sec the
+// headline throughput exported to BENCH_sim.json by `make bench`.
+
+// BenchmarkHeapSchedule measures the pure event-queue path with no Procs: a
+// window of 1024 pending future events, each rescheduling itself, so every
+// fire is an O(log n) pop plus push at realistic heap depth.
+func BenchmarkHeapSchedule(b *testing.B) {
+	s := New(1)
+	const window = 1024
+	remaining := b.N
+	var tick func()
+	tick = func() {
+		if remaining > 0 {
+			remaining--
+			s.After(Duration(remaining%127+1), tick)
+		}
+	}
+	for i := 0; i < window; i++ {
+		s.After(Duration(i+1), tick)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(s.Events())/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkSameInstantChain measures the O(1) ring fast path: a callback
+// chain that never advances the clock, so no heap operation is involved.
+func BenchmarkSameInstantChain(b *testing.B) {
+	s := New(1)
+	remaining := b.N
+	var tick func()
+	tick = func() {
+		if remaining > 0 {
+			remaining--
+			s.At(s.Now(), tick)
+		}
+	}
+	s.At(0, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(s.Events())/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkProcYield measures a Proc scheduling step on the ring path: one
+// closure-free dispatch event plus the two goroutine handoffs.
+func BenchmarkProcYield(b *testing.B) {
+	s := New(1)
+	s.Spawn("yielder", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Yield()
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(s.Events())/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkSpawnJoin measures Proc creation: goroutine start, first
+// dispatch, and teardown accounting.
+func BenchmarkSpawnJoin(b *testing.B) {
+	s := New(1)
+	s.Spawn("parent", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			s.Spawn("child", func(q *Proc) {})
+			p.Yield() // let the child run to completion
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCondSignalWake measures the ready() wakeup round trip through a
+// condition variable: Signal -> ring dispatch -> re-Wait.
+func BenchmarkCondSignalWake(b *testing.B) {
+	s := New(1)
+	c := s.NewCond("bench")
+	stop := false
+	s.Spawn("waiter", func(p *Proc) {
+		for {
+			c.Wait(p)
+			if stop {
+				return
+			}
+		}
+	})
+	s.Spawn("signaller", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			c.Signal()
+			p.Yield() // let the waiter wake and re-wait
+		}
+		stop = true
+		c.Broadcast()
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTimerWheelMix mixes the paths the shuffle stack actually drives:
+// many Procs sleeping staggered durations (heap) plus same-instant handoffs
+// (ring), approximating a streaming run's event profile.
+func BenchmarkTimerWheelMix(b *testing.B) {
+	s := New(1)
+	const procs = 16
+	per := b.N / procs
+	for i := 0; i < procs; i++ {
+		d := Duration(i%7 + 1)
+		s.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+			for j := 0; j < per; j++ {
+				if j%4 == 3 {
+					p.Yield()
+				} else {
+					p.Sleep(d * time.Nanosecond)
+				}
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := s.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(s.Events())/b.Elapsed().Seconds(), "events/sec")
+}

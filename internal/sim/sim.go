@@ -13,10 +13,16 @@
 // The kernel detects deadlock: if live Procs remain but no event can wake
 // any of them, Run returns a DeadlockError naming each blocked Proc and the
 // primitive it is blocked on.
+//
+// Scheduling is the simulator's hot path, so the kernel avoids per-event
+// allocation: event records are recycled on a free list, Proc wakeups are a
+// closure-free event variant, and same-instant wakeups (ready, Yield, the
+// first dispatch after Spawn) go through an O(1) FIFO ring that bypasses the
+// O(log n) heap while preserving the global schedule-order semantics. See
+// DESIGN.md, "Kernel performance".
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -38,44 +44,52 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
 func (t Time) String() string { return Duration(t).String() }
 
+// event is one scheduled occurrence. Exactly one of fire and proc is set:
+// fire is a general callback; proc is the direct-dispatch variant that
+// resumes a Proc without allocating a closure. Events are recycled through
+// Simulation.free, so no pointer to an event may outlive its firing.
 type event struct {
 	at   Time
 	seq  uint64
 	fire func()
+	proc *Proc
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (time, schedule sequence): the global firing
+// order is a strict total order, identical for the heap and the ring.
+func eventLess(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-func (h eventHeap) peek() *event { return h[0] }
 
 // Simulation is a discrete-event simulator. The zero value is not usable;
 // create one with New.
 type Simulation struct {
-	now    Time
-	seq    uint64
-	events eventHeap
-	yield  chan struct{}
-	live   int
-	procs  map[*Proc]struct{}
-	rng    *rand.Rand
-	maxT   Time // horizon; 0 means none
+	now Time
+	seq uint64
+	// heap holds future events as a binary min-heap on (at, seq). It is a
+	// concrete *event slice with inlined sift routines rather than a
+	// container/heap adapter: the interface boxing of heap.Push/Pop costs an
+	// allocation and an indirect call per event.
+	heap []*event
+	// ring holds same-instant events (at == now, always ahead of every heap
+	// entry of the same instant scheduled later) in a power-of-two circular
+	// buffer: rhead is the read index, rlen the occupancy. Pushing and
+	// popping are O(1), versus O(log n) through the heap.
+	ring  []*event
+	rhead int
+	rlen  int
+	// free recycles fired event records; its length is bounded by the peak
+	// number of simultaneously pending events.
+	free  []*event
+	fired uint64
+	yield chan struct{}
+	live  int
+	procs map[*Proc]struct{}
+	rng   *rand.Rand
+	maxT  Time // horizon; 0 means none
 }
 
 // New returns an empty simulation whose random source is seeded with seed.
@@ -91,6 +105,10 @@ func New(seed int64) *Simulation {
 // Now returns the current virtual time.
 func (s *Simulation) Now() Time { return s.now }
 
+// Events returns the number of events fired so far — the denominator for
+// events/sec wall-clock throughput measurements.
+func (s *Simulation) Events() uint64 { return s.fired }
+
 // Rand returns the simulation's deterministic random source. It must only be
 // used from Procs or event callbacks (never concurrently with Run from
 // outside).
@@ -100,15 +118,108 @@ func (s *Simulation) Rand() *rand.Rand { return s.rng }
 // horizon are left unfired. A zero horizon (the default) means no limit.
 func (s *Simulation) SetHorizon(t Time) { s.maxT = t }
 
+// newEvent takes an event record off the free list (or allocates one) and
+// stamps it with the next schedule sequence number.
+func (s *Simulation) newEvent(at Time, fn func(), p *Proc) *event {
+	var e *event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		e = &event{}
+	}
+	s.seq++
+	e.at, e.seq, e.fire, e.proc = at, s.seq, fn, p
+	return e
+}
+
+// releaseEvent returns a fired event to the free list, dropping its payload
+// references so recycled records don't retain closures or Procs.
+func (s *Simulation) releaseEvent(e *event) {
+	e.fire, e.proc = nil, nil
+	s.free = append(s.free, e)
+}
+
+// ringPush appends e to the same-instant FIFO. e.at must equal s.now.
+func (s *Simulation) ringPush(e *event) {
+	if s.rlen == len(s.ring) {
+		s.growRing()
+	}
+	s.ring[(s.rhead+s.rlen)&(len(s.ring)-1)] = e
+	s.rlen++
+}
+
+func (s *Simulation) growRing() {
+	n := 2 * len(s.ring)
+	if n == 0 {
+		n = 64
+	}
+	buf := make([]*event, n)
+	for i := 0; i < s.rlen; i++ {
+		buf[i] = s.ring[(s.rhead+i)&(len(s.ring)-1)]
+	}
+	s.ring, s.rhead = buf, 0
+}
+
+func (s *Simulation) ringPop() *event {
+	e := s.ring[s.rhead]
+	s.ring[s.rhead] = nil
+	s.rhead = (s.rhead + 1) & (len(s.ring) - 1)
+	s.rlen--
+	return e
+}
+
+func (s *Simulation) heapPush(e *event) {
+	s.heap = append(s.heap, e)
+	h := s.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (s *Simulation) heapPop() *event {
+	h := s.heap
+	e := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	s.heap = h[:n]
+	h = s.heap
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && eventLess(h[r], h[l]) {
+			m = r
+		}
+		if !eventLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return e
+}
+
 // At schedules fn to run at instant t (not before now). fn runs in scheduler
 // context: it may schedule events, wake Procs, and mutate simulation state,
 // but must not block.
 func (s *Simulation) At(t Time, fn func()) {
-	if t < s.now {
-		t = s.now
+	if t <= s.now {
+		s.ringPush(s.newEvent(s.now, fn, nil))
+		return
 	}
-	s.seq++
-	heap.Push(&s.events, &event{at: t, seq: s.seq, fire: fn})
+	s.heapPush(s.newEvent(t, fn, nil))
 }
 
 // After schedules fn to run d after the current instant.
@@ -165,7 +276,7 @@ func (s *Simulation) Spawn(name string, fn func(p *Proc)) *Proc {
 		s.live--
 		s.yield <- struct{}{}
 	}()
-	s.At(s.now, func() { s.dispatch(p) })
+	s.ready(p)
 	return p
 }
 
@@ -190,8 +301,9 @@ func (p *Proc) block(reason string) {
 	p.blocked += Duration(p.sim.now - t0)
 }
 
-// ready schedules p to resume at the current instant.
-func (s *Simulation) ready(p *Proc) { s.At(s.now, func() { s.dispatch(p) }) }
+// ready schedules p to resume at the current instant: an O(1) ring push of
+// a closure-free dispatch event.
+func (s *Simulation) ready(p *Proc) { s.ringPush(s.newEvent(s.now, nil, p)) }
 
 // Sleep suspends the Proc for d of virtual time. Negative and zero durations
 // yield to other same-instant events and return.
@@ -200,9 +312,14 @@ func (p *Proc) Sleep(d Duration) {
 		d = 0
 	}
 	p.busy += d
-	p.sim.At(p.sim.now.Add(d), func() { p.sim.dispatch(p) })
+	s := p.sim
+	if d == 0 {
+		s.ringPush(s.newEvent(s.now, nil, p))
+	} else {
+		s.heapPush(s.newEvent(s.now.Add(d), nil, p))
+	}
 	p.blockedOn = "sleep"
-	p.sim.yield <- struct{}{}
+	s.yield <- struct{}{}
 	<-p.resume
 }
 
@@ -227,15 +344,36 @@ func (e *DeadlockError) Error() string {
 // blocked with no pending events, and nil otherwise. Run must be called from
 // the goroutine that owns the Simulation, and only once at a time.
 func (s *Simulation) Run() error {
-	for len(s.events) > 0 {
-		e := s.events.peek()
-		if s.maxT != 0 && e.at > s.maxT {
-			s.now = s.maxT
-			return nil
+	for {
+		var e *event
+		if s.rlen > 0 {
+			// The ring holds only events at the current instant; a heap entry
+			// can still precede the ring head if it was scheduled earlier for
+			// this same instant (smaller seq).
+			if len(s.heap) > 0 && eventLess(s.heap[0], s.ring[s.rhead]) {
+				e = s.heapPop()
+			} else {
+				e = s.ringPop()
+			}
+		} else if len(s.heap) > 0 {
+			if s.maxT != 0 && s.heap[0].at > s.maxT {
+				s.now = s.maxT
+				return nil
+			}
+			e = s.heapPop()
+		} else {
+			break
 		}
-		heap.Pop(&s.events)
 		s.now = e.at
-		e.fire()
+		s.fired++
+		if p := e.proc; p != nil {
+			s.releaseEvent(e)
+			s.dispatch(p)
+		} else {
+			fn := e.fire
+			s.releaseEvent(e)
+			fn()
+		}
 	}
 	if s.live > 0 {
 		de := &DeadlockError{Time: s.now}
@@ -249,9 +387,15 @@ func (s *Simulation) Run() error {
 }
 
 // RunFor runs until the event queue drains or until d of virtual time has
-// elapsed from the current instant, whichever comes first.
+// elapsed from the current instant, whichever comes first. A horizon already
+// set by the caller is honored if it is nearer, and is restored on return.
 func (s *Simulation) RunFor(d Duration) error {
-	s.SetHorizon(s.now.Add(d))
-	defer s.SetHorizon(0)
+	prev := s.maxT
+	h := s.now.Add(d)
+	if prev != 0 && prev < h {
+		h = prev
+	}
+	s.SetHorizon(h)
+	defer s.SetHorizon(prev)
 	return s.Run()
 }

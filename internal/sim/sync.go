@@ -8,6 +8,9 @@ type Cond struct {
 	sim     *Simulation
 	name    string
 	waiters []*condWaiter
+	// reason and reasonT are the precomputed blocked-on labels ("cond x",
+	// "cond(timeout) x") so Wait does not concatenate strings per block.
+	reason, reasonT string
 }
 
 type condWaiter struct {
@@ -18,7 +21,7 @@ type condWaiter struct {
 // NewCond returns a condition variable with a diagnostic name used in
 // deadlock reports.
 func (s *Simulation) NewCond(name string) *Cond {
-	return &Cond{sim: s, name: name}
+	return &Cond{sim: s, name: name, reason: "cond " + name, reasonT: "cond(timeout) " + name}
 }
 
 // Wait suspends p until Signal or Broadcast wakes it. Callers must re-check
@@ -27,7 +30,7 @@ func (c *Cond) Wait(p *Proc) {
 	w := &condWaiter{p: p}
 	c.waiters = append(c.waiters, w)
 	p.timedOut = false
-	p.block("cond " + c.name)
+	p.block(c.reason)
 }
 
 // WaitTimeout is Wait with a virtual-time timeout. It returns false if the
@@ -45,7 +48,7 @@ func (c *Cond) WaitTimeout(p *Proc, d Duration) bool {
 		p.timedOut = true
 		c.sim.ready(p)
 	})
-	p.block("cond(timeout) " + c.name)
+	p.block(c.reasonT)
 	return !p.timedOut
 }
 
@@ -90,15 +93,20 @@ func (c *Cond) Broadcast() {
 // arrival order, which models a ticket lock guarding a shared resource such
 // as a Queue Pair's doorbell.
 type Mutex struct {
-	sim   *Simulation
-	name  string
-	owner *Proc
+	sim    *Simulation
+	name   string
+	reason string // precomputed "mutex <name>" blocked-on label
+	owner  *Proc
+	// queue[qhead:] are the waiters in arrival order; the drained prefix is
+	// reclaimed when the queue empties so steady-state handoff never
+	// reallocates.
 	queue []*Proc
+	qhead int
 }
 
 // NewMutex returns a FIFO mutex with a diagnostic name.
 func (s *Simulation) NewMutex(name string) *Mutex {
-	return &Mutex{sim: s, name: name}
+	return &Mutex{sim: s, name: name, reason: "mutex " + name}
 }
 
 // Lock acquires the mutex, blocking p in FIFO order if it is held.
@@ -111,7 +119,7 @@ func (m *Mutex) Lock(p *Proc) {
 		panic("sim: recursive Mutex.Lock by " + p.name)
 	}
 	m.queue = append(m.queue, p)
-	p.block("mutex " + m.name)
+	p.block(m.reason)
 }
 
 // Unlock releases the mutex and hands it to the next queued Proc, if any.
@@ -119,12 +127,17 @@ func (m *Mutex) Unlock(p *Proc) {
 	if m.owner != p {
 		panic("sim: Mutex.Unlock by non-owner " + p.name)
 	}
-	if len(m.queue) == 0 {
+	if m.qhead == len(m.queue) {
 		m.owner = nil
 		return
 	}
-	next := m.queue[0]
-	m.queue = m.queue[1:]
+	next := m.queue[m.qhead]
+	m.queue[m.qhead] = nil
+	m.qhead++
+	if m.qhead == len(m.queue) {
+		m.queue = m.queue[:0]
+		m.qhead = 0
+	}
 	m.owner = next
 	m.sim.ready(next)
 }
@@ -133,7 +146,7 @@ func (m *Mutex) Unlock(p *Proc) {
 func (m *Mutex) Locked() bool { return m.owner != nil }
 
 // Waiters returns the number of Procs queued behind the current owner.
-func (m *Mutex) Waiters() int { return len(m.queue) }
+func (m *Mutex) Waiters() int { return len(m.queue) - m.qhead }
 
 // Queue is an unbounded FIFO of items with blocking Get, usable as a simple
 // mailbox between Procs.

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-full vet race fmt trace bench bench-smoke
+.PHONY: build test test-full vet race fmt trace trace-rocev2 lossy-smoke bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -34,11 +34,34 @@ trace:
 	cmp trace.json trace2.json && \
 	echo "trace deterministic: trace.json"
 
+# Same determinism oracle on the lossy RoCEv2 tier: the trace now carries
+# pause frames, ECN marks, CNPs, rate cuts, and retransmits, and must still
+# be byte-identical across same-seed runs.
+trace-rocev2:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp" trace-rocev2-2.json' EXIT; \
+	$(GO) build -o $$tmp/shufflebench ./cmd/shufflebench && \
+	$$tmp/shufflebench -profile rocev2 -trace trace-rocev2.json && \
+	$$tmp/shufflebench -profile rocev2 -trace trace-rocev2-2.json && \
+	cmp trace-rocev2.json trace-rocev2-2.json && \
+	grep -q '"name":"rate_cut"' trace-rocev2.json && \
+	echo "lossy trace deterministic: trace-rocev2.json"
+
+# Short lossy chaos smoke: every Table 1 design through the fault matrix on
+# the lossy RoCEv2 fabric; any non-converging cell fails the run.
+lossy-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/shufflebench ./cmd/shufflebench && \
+	out=$$($$tmp/shufflebench -chaos -profile rocev2) && \
+	echo "$$out" && \
+	! echo "$$out" | grep -q exhausted
+
 # Wall-clock benchmarks: kernel micro (events/sec, ns/dispatch, allocs/event)
 # plus whole-query macro, exported as BENCH_sim.json for regression tracking.
+# Each run appends to the file's run history (the old single-run schema is
+# absorbed as the first entry), so repeated invocations build a series.
 BENCH_PKGS = ./internal/sim/ ./internal/cluster/
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -o BENCH_sim.json
+	$(GO) test -run='^$$' -bench=. -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -append -o BENCH_sim.json
 
 # CI smoke: every benchmark runs one iteration, proving the harness and the
 # JSON export stay green without paying for steady-state measurements.

@@ -17,6 +17,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Benchmark is one parsed result line.
@@ -27,16 +28,25 @@ type Benchmark struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// Report is the BENCH_sim.json schema.
+// Report is one benchmark run.
 type Report struct {
+	Time       string      `json:"time,omitempty"`
 	Goos       string      `json:"goos,omitempty"`
 	Goarch     string      `json:"goarch,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// History is the accumulating BENCH_sim.json schema: one entry per `make
+// bench` invocation, newest last, so regression tracking sees a series
+// instead of only the latest sample.
+type History struct {
+	Runs []Report `json:"runs"`
+}
+
 func main() {
 	out := flag.String("o", "BENCH_sim.json", "output file")
+	appendRun := flag.Bool("append", false, "append this run to the output file's run history instead of overwriting")
 	flag.Parse()
 
 	rep := Report{Benchmarks: []Benchmark{}}
@@ -68,7 +78,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	enc, err := json.MarshalIndent(&rep, "", "  ")
+	var doc any = &rep
+	runs := 1
+	if *appendRun {
+		rep.Time = time.Now().UTC().Format(time.RFC3339)
+		hist := loadHistory(*out)
+		hist.Runs = append(hist.Runs, rep)
+		doc, runs = &hist, len(hist.Runs)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -77,7 +95,30 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *appendRun {
+		fmt.Printf("benchjson: appended %d benchmarks to %s (%d runs)\n", len(rep.Benchmarks), *out, runs)
+		return
+	}
 	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// loadHistory reads the existing output file, accepting both the history
+// schema and the original bare-Report schema (which becomes the first run).
+// A missing or unparseable file starts a fresh history.
+func loadHistory(path string) History {
+	var hist History
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return hist
+	}
+	if json.Unmarshal(raw, &hist) == nil && hist.Runs != nil {
+		return hist
+	}
+	var old Report
+	if json.Unmarshal(raw, &old) == nil && len(old.Benchmarks) > 0 {
+		hist.Runs = append(hist.Runs, old)
+	}
+	return hist
 }
 
 // parseLine parses one result line: the benchmark name (with its -N GOMAXPROCS

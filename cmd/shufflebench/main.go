@@ -39,8 +39,20 @@ func main() {
 		trace   = flag.String("trace", "", "run a short traced benchmark and write Chrome trace-event JSON to this file")
 		metrics = flag.Bool("metrics", false, "regenerate the paper's Table 1 counters from the metrics registry")
 		workers = flag.Int("workers", 0, "simulation cells in flight at once: 1 = serial reference mode, 0 = one per CPU")
+		profile = flag.String("profile", "ib", "fabric for -chaos and -trace: 'ib' (lossless InfiniBand) or 'rocev2' (lossy Ethernet with PFC/ECN/DCQCN)")
 	)
 	flag.Parse()
+
+	var prof fabric.Profile
+	switch *profile {
+	case "ib":
+		prof = fabric.FDR()
+	case "rocev2":
+		prof = fabric.RoCEv2Lossy()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -profile %q (want ib or rocev2)\n", *profile)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, e := range experiments.All {
@@ -61,7 +73,7 @@ func main() {
 	}
 
 	if *trace != "" {
-		if err := runTraced(w, *trace, *seed); err != nil {
+		if err := runTraced(w, *trace, prof, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -78,7 +90,7 @@ func main() {
 	}
 
 	if *chaos {
-		if err := runChaosMatrix(w, *seed); err != nil {
+		if err := runChaosMatrix(w, prof, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -166,16 +178,23 @@ func printTables(w io.Writer, name string, tables []*experiments.Table, elapsed 
 
 // runTraced executes a short MEMQ/SR benchmark with the event tracer
 // attached and writes the Chrome trace-event JSON (loadable in
-// chrome://tracing or Perfetto) to path. The simulation is deterministic:
-// two runs with the same seed write byte-identical files, which CI exploits
-// as a regression check.
-func runTraced(w io.Writer, path string, seed int64) error {
-	c := cluster.New(fabric.FDR(), 4, 2, seed)
+// chrome://tracing or Perfetto) to path. On the rocev2 profile the workload
+// funnels into node 0 so the trace exercises the lossy-tier vocabulary
+// (pause frames, ECN marks, CNPs, rate cuts, retransmits). The simulation
+// is deterministic: two runs with the same seed write byte-identical files,
+// which CI exploits as a regression check.
+func runTraced(w io.Writer, path string, prof fabric.Profile, seed int64) error {
+	c := cluster.New(prof, 4, 2, seed)
 	tr := c.EnableTracing(1 << 20)
 	cfg := shuffle.Algorithms[0].Config(c.Threads) // MEMQ/SR
-	res, err := c.RunBench(cluster.BenchOpts{
+	opts := cluster.BenchOpts{
 		Factory: cluster.RDMAProvider(cfg), RowsPerNode: 8192,
-	})
+	}
+	if prof.Lossy {
+		opts.RowsPerNode = 16384
+		opts.GroupsFn = func(int) shuffle.Groups { return shuffle.Groups{{0}} }
+	}
+	res, err := c.RunBench(opts)
 	if err != nil {
 		return err
 	}
@@ -190,8 +209,8 @@ func runTraced(w io.Writer, path string, seed int64) error {
 	if err := telemetry.WriteChromeTrace(f, tr); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "traced %s benchmark: %d nodes, %d rows/node, seed %d\n",
-		shuffle.Algorithms[0].Name, 4, 8192, seed)
+	fmt.Fprintf(w, "traced %s benchmark: %s, %d nodes, %d rows/node, seed %d\n",
+		shuffle.Algorithms[0].Name, prof.Name, 4, opts.RowsPerNode, seed)
 	fmt.Fprintf(w, "  elapsed %v, %d events retained (%d overwritten) -> %s\n",
 		res.Elapsed, tr.Len(), tr.Dropped(), path)
 	return nil
@@ -273,10 +292,12 @@ func findAlgorithm(name string) shuffle.Algorithm {
 
 // runChaosMatrix runs every Table 1 algorithm under every fault scenario —
 // transient, persistent, and crash-stop — and prints one outcome row per
-// cell. With a fixed seed the table is bit-for-bit reproducible.
-func runChaosMatrix(w io.Writer, seed int64) error {
+// cell. On the rocev2 profile the injected faults compose with the lossy
+// tier's own hazards (pause frames, marks, tail drops, retransmits). With a
+// fixed seed the table is bit-for-bit reproducible.
+func runChaosMatrix(w io.Writer, prof fabric.Profile, seed int64) error {
 	opts := cluster.ChaosOpts{
-		Prof: fabric.FDR(), Nodes: 3, Threads: 2,
+		Prof: prof, Nodes: 3, Threads: 2,
 		RowsPerNode: 8192, Seed: seed,
 		Policy: cluster.RecoveryPolicy{
 			MaxRestarts: 2,
@@ -285,8 +306,8 @@ func runChaosMatrix(w io.Writer, seed int64) error {
 		},
 	}
 	faults := append(cluster.ChaosFaults(), cluster.ChaosCrashFaults()...)
-	fmt.Fprintf(w, "chaos matrix: %d nodes, %d rows/node, seed %d (restarts<=%d)\n\n",
-		opts.Nodes, opts.RowsPerNode, seed, opts.Policy.MaxRestarts)
+	fmt.Fprintf(w, "chaos matrix: %s, %d nodes, %d rows/node, seed %d (restarts<=%d)\n\n",
+		prof.Name, opts.Nodes, opts.RowsPerNode, seed, opts.Policy.MaxRestarts)
 	fmt.Fprintf(w, "%-9s %-13s %-9s %8s %7s %8s %5s %10s  %s\n",
 		"alg", "fault", "outcome", "restarts", "members", "rows", "det", "maxdetect", "error")
 	for _, alg := range shuffle.Algorithms {

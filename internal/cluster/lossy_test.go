@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"rshuffle/internal/fabric"
+	"rshuffle/internal/shuffle"
+	"rshuffle/internal/sim"
+	"rshuffle/internal/telemetry"
+)
+
+// incast returns the transmission pattern that funnels every node's rows
+// into node 0 — the congestion-heaviest plan the shuffle operator can
+// produce, and the one the lossy RoCEv2 tier exists to survive.
+func incast(n int) shuffle.Groups { return shuffle.Groups{{0}} }
+
+// runLossyIncast shuffles a Zipf-skewed plan — most rows funnel to node 0,
+// but every sender also feeds the other seven destinations, so a PFC pause
+// on a sender's uplink stalls its victim flows too — on the given fabric and
+// returns the result (Err left for the caller to judge).
+func runLossyIncast(t *testing.T, prof fabric.Profile, seed int64, rows int) *BenchResult {
+	t.Helper()
+	c := New(prof, 8, 2, seed)
+	cfg := shuffle.Algorithms[0].Config(c.Threads) // MEMQ/SR
+	// A deep per-peer send window lets every sender commit far more than the
+	// switch buffer: without congestion control the incast must overrun.
+	cfg.BuffersPerPeer = 8
+	cfg.BufSize = 32 << 10
+	res, err := c.RunBench(BenchOpts{
+		Factory: RDMAProvider(cfg), RowsPerNode: rows, ZipfExponent: 1.0,
+	})
+	if err != nil {
+		t.Fatalf("simulation failed: %v", err)
+	}
+	return res
+}
+
+// TestLossyIncastDCQCNDegradationWhenDisabled is the acceptance check for
+// the DCQCN rate limiter: under RoCEv2Lossy with an incast-heavy skewed
+// plan, turning the congestion-control loop off must measurably degrade the
+// response time. With the loop on, WRED marks hold the hot queue near the
+// marking threshold and the run completes cleanly; with it off, the switch
+// tail-drops entire committed windows, the NICs burn ACK timeouts on
+// go-back-N replays, and sustained overrun can exhaust retry budgets —
+// surfacing as a bounded QP error / stalled-endpoint report, never a panic
+// or a hang.
+func TestLossyIncastDCQCNDegradationWhenDisabled(t *testing.T) {
+	const rows = 262144
+	on := runLossyIncast(t, fabric.RoCEv2Lossy(), 42, rows)
+	if on.Err != nil {
+		t.Fatalf("with DCQCN on the lossy incast must complete cleanly; got %v", on.Err)
+	}
+
+	off := fabric.RoCEv2Lossy()
+	off.DCQCN = false
+	offRes := runLossyIncast(t, off, 42, rows)
+
+	// Degradation can surface two ways, both acceptable and both "measurable":
+	// the run limps home slower, or loss escalates past the retry budget and
+	// the query dies with a bounded transport error. What is NOT acceptable
+	// is off matching on.
+	if offRes.Err == nil && float64(offRes.Elapsed) < 1.05*float64(on.Elapsed) {
+		t.Fatalf("DCQCN off finished in %v vs on %v with no error: disabling congestion control should measurably hurt",
+			offRes.Elapsed, on.Elapsed)
+	}
+	t.Logf("DCQCN on: %v; DCQCN off: %v (err=%v)", on.Elapsed, offRes.Elapsed, offRes.Err)
+}
+
+// TestLossyChaosSmoke runs an RC design and a UD design through the fault
+// matrix on the lossy RoCEv2 fabric: congestion hazards (pauses, marks,
+// drops, retransmits) compose with injected faults, yet every query must
+// converge with all rows delivered and bitwise identical outcomes on a
+// same-seed repeat.
+func TestLossyChaosSmoke(t *testing.T) {
+	opts := chaosOpts()
+	opts.Prof = fabric.RoCEv2Lossy()
+	want := int64(opts.Nodes) * int64(opts.RowsPerNode)
+	algs := []shuffle.Algorithm{shuffle.Algorithms[0], shuffle.Algorithms[2]} // MEMQ/SR, MESQ/SR
+	for _, alg := range algs {
+		for _, f := range ChaosFaults() {
+			alg, f := alg, f
+			t.Run(alg.Name+"/"+f.Name, func(t *testing.T) {
+				o1, err := RunChaos(alg, f, opts)
+				if err != nil {
+					t.Fatalf("simulation failed: %v", err)
+				}
+				o2, err := RunChaos(alg, f, opts)
+				if err != nil {
+					t.Fatalf("simulation failed on repeat: %v", err)
+				}
+				if o1 != o2 {
+					t.Fatalf("nondeterministic lossy outcome:\n  %+v\n  %+v", o1, o2)
+				}
+				if o1.Failed {
+					t.Fatalf("recovery did not converge on the lossy fabric: %s", o1.Err)
+				}
+				if o1.Rows != want {
+					t.Fatalf("rows = %d, want %d (restarts %d)", o1.Rows, want, o1.Restarts)
+				}
+			})
+		}
+	}
+}
+
+// tracedLossyRun executes one lossy incast with tracing enabled and returns
+// the exported Chrome trace.
+func tracedLossyRun(t *testing.T, seed int64, rows int) string {
+	t.Helper()
+	c := New(fabric.RoCEv2Lossy(), 4, 2, seed)
+	tr := c.EnableTracing(1 << 18)
+	cfg := shuffle.Algorithms[0].Config(c.Threads)
+	res, err := c.RunBench(BenchOpts{
+		Factory: RDMAProvider(cfg), RowsPerNode: rows, GroupsFn: incast,
+	})
+	if err != nil {
+		t.Fatalf("simulation failed: %v", err)
+	}
+	if res.Err != nil {
+		t.Fatalf("traced lossy run errored: %v", res.Err)
+	}
+	var b strings.Builder
+	if err := telemetry.WriteChromeTrace(&b, tr); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestLossyTraceDeterminism extends the trace oracle to the lossy tier:
+// same-seed runs with congestion control active — ECN marks, CNPs, rate
+// cuts, possibly pause frames and retransmits — must export byte-identical
+// Chrome traces, and the new event vocabulary must actually appear.
+func TestLossyTraceDeterminism(t *testing.T) {
+	a := tracedLossyRun(t, 7, 16384)
+	b := tracedLossyRun(t, 7, 16384)
+	if a != b {
+		t.Fatal("same-seed lossy runs exported different traces")
+	}
+	if c := tracedLossyRun(t, 7, 16640); c == a {
+		t.Fatal("different lossy workloads exported identical traces")
+	}
+	for _, ev := range []string{`"name":"ecn_mark"`, `"name":"cnp"`, `"name":"rate_cut"`} {
+		if !strings.Contains(a, ev) {
+			t.Errorf("lossy trace missing event %s", ev)
+		}
+	}
+}
+
+var _ = sim.Duration(0)

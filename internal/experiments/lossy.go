@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"rshuffle/internal/cluster"
+	"rshuffle/internal/fabric"
+	"rshuffle/internal/shuffle"
+)
+
+// ExtLossy reruns the Table 1 design matrix on the lossy RoCEv2 tier: the
+// same six designs, on converged Ethernet where the switch can actually
+// drop packets, with and without the DCQCN congestion-control loop. The
+// lossless RoCE column is the baseline the extension is judged against.
+func ExtLossy(o Options) ([]*Table, error) {
+	matrix := &Table{
+		ID:    "Extension: lossy RoCEv2 — Table 1 matrix",
+		Title: "repartition throughput on lossy Ethernet, 8 nodes ('-' = query failed)",
+		Unit:  "GiB/s per node",
+		Cols:  []string{"lossless", "lossy-cc", "lossy+cc"},
+	}
+	profs := []fabric.Profile{fabric.RoCE(), lossyNoCC(), fabric.RoCEv2Lossy()}
+	cs := cells{o: o}
+	for _, a := range shuffle.Algorithms {
+		row := Row{Name: a.Name, Vals: make([]float64, len(profs))}
+		for i, prof := range profs {
+			cs.add(func() error {
+				res, err := o.runThroughput(prof, a.Config(prof.Threads), 8, nil, int64(1200+i))
+				if err != nil {
+					// A transport failure is a result on the lossy tier, not a
+					// broken experiment: UD designs lose datagrams on tail
+					// drop, RC designs can exhaust retry budgets. The paper's
+					// lossless columns must still error out loudly.
+					if i == 0 {
+						return fmt.Errorf("%s on %s: %w", a.Name, prof.Name, err)
+					}
+					row.Vals[i] = math.NaN()
+					return nil
+				}
+				row.Vals[i] = res.GiBps()
+				return nil
+			})
+		}
+		matrix.Rows = append(matrix.Rows, row)
+	}
+	if err := cs.run(); err != nil {
+		return nil, err
+	}
+	matrix.Notes = append(matrix.Notes,
+		"balanced repartition keeps switch queues shallow: PFC plus go-back-N absorb what",
+		"little loss pressure there is, so the Table 1 ranking survives the lossy tier")
+
+	incast, err := extLossyIncast(o)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{matrix, incast}, nil
+}
+
+// extLossyIncast is the crossover exhibit: a Zipf-skewed shuffle whose hot
+// receiver congests one switch port. With DCQCN the run completes; without
+// it the committed windows overrun the shared buffer, go-back-N burns ACK
+// timeouts, and sustained drops exhaust the retry budget.
+func extLossyIncast(o Options) (*Table, error) {
+	t := &Table{
+		ID:    "Extension: lossy RoCEv2 — skewed incast crossover",
+		Title: "MEMQ/SR, 8 nodes, Zipf 1.0 toward node 0 (elapsed in ms; 0 = query failed)",
+		Cols:  []string{"elapsed", "drops", "retries", "pauses"},
+	}
+	rows := 262144
+	if !o.Fast {
+		rows *= 4
+	}
+	for _, on := range []bool{true, false} {
+		prof := fabric.RoCEv2Lossy()
+		prof.DCQCN = on
+		name := "DCQCN on"
+		if !on {
+			name = "DCQCN off"
+		}
+		c := cluster.New(quiet(prof), 8, 2, o.Seed)
+		cfg := shuffle.Algorithms[0].Config(c.Threads) // MEMQ/SR
+		cfg.BuffersPerPeer = 8
+		cfg.BufSize = 32 << 10
+		res, err := c.RunBench(cluster.BenchOpts{
+			Factory: cluster.RDMAProvider(cfg), RowsPerNode: rows, ZipfExponent: 1.0,
+		})
+		if err != nil {
+			return nil, err
+		}
+		var drops, pauses, retries float64
+		for n := 0; n < 8; n++ {
+			st := c.Net.Stats(n)
+			drops += float64(st.TailDrops)
+			pauses += float64(st.PFCPausesSent)
+		}
+		for _, d := range c.Devs {
+			retries += float64(d.Stats().TransportRetries)
+		}
+		elapsed := float64(res.Elapsed.Microseconds()) / 1000
+		if res.Err != nil {
+			elapsed = 0
+		}
+		t.Rows = append(t.Rows, Row{Name: name, Vals: []float64{elapsed, drops, retries, pauses}})
+	}
+	t.Notes = append(t.Notes,
+		"the crossover the extension exists for: with congestion control off the incast",
+		"tail-drops whole send windows until retry budgets exhaust and the query dies")
+	return t, nil
+}
+
+// lossyNoCC is the lossy tier with the DCQCN loop disabled: PFC and ECN
+// marking still run, but nobody answers the marks.
+func lossyNoCC() fabric.Profile {
+	p := fabric.RoCEv2Lossy()
+	p.DCQCN = false
+	return p
+}

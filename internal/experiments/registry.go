@@ -38,6 +38,7 @@ var All = []Experiment{
 	{"ext-qpcache", "ablation: NIC QP-state cache capacity", single(ExtQPCache)},
 	{"ext-profile", "profiling: worker busy vs blocked fractions (§5.1.3)", single(ExtProfile)},
 	{"ext-skew", "study: Zipf-skewed partitioning keys", single(ExtSkew)},
+	{"ext-lossy", "extension: lossy RoCEv2 tier (PFC/ECN/DCQCN)", ExtLossy},
 }
 
 // Find returns the named experiment, or nil.

@@ -51,6 +51,20 @@ type NICStats struct {
 	RCRetransmits int64
 	ReadRequests  int64
 
+	// Lossy Ethernet tier counters (zero under lossless profiles).
+
+	// PFCPausesSent counts pause frames this node's switch egress port sent
+	// upstream after crossing the XOFF threshold.
+	PFCPausesSent int64
+	// PFCPauseTime is the total time this node's uplink spent frozen by
+	// pause frames from congested egress ports.
+	PFCPauseTime sim.Duration
+	// ECNMarks counts data packets CE-marked at this node's egress port.
+	ECNMarks int64
+	// TailDrops counts packets dropped at this node's egress port because
+	// the shared-buffer allotment was exhausted.
+	TailDrops int64
+
 	// Per-lane wire-byte split: control-lane messages (wire size at or under
 	// ControlThreshold: credit write-backs, read requests, grant words) versus
 	// bulk data. Congestion claims about the control fast lane are measured
@@ -81,6 +95,10 @@ func (s NICStats) Sub(o NICStats) NICStats {
 	s.RCDropped -= o.RCDropped
 	s.RCRetransmits -= o.RCRetransmits
 	s.ReadRequests -= o.ReadRequests
+	s.PFCPausesSent -= o.PFCPausesSent
+	s.PFCPauseTime -= o.PFCPauseTime
+	s.ECNMarks -= o.ECNMarks
+	s.TailDrops -= o.TailDrops
 	s.TxControlBytes -= o.TxControlBytes
 	s.TxDataBytes -= o.TxDataBytes
 	s.RxControlBytes -= o.RxControlBytes
@@ -96,6 +114,10 @@ type nic struct {
 	rxBusy sim.Time
 	cache  *qpCache
 	stats  NICStats
+	// pfcPausedUntil freezes this NIC's data-lane uplink while a downstream
+	// egress port has it paused (lossy tier only; control traffic rides a
+	// separate, never-paused priority).
+	pfcPausedUntil sim.Time
 	// txOrder and rxOrder track the last scheduled departure/arrival per
 	// Queue Pair: Reliable Connection traffic is strictly ordered within a
 	// QP even when the control fast lane would otherwise let a small
@@ -130,7 +152,16 @@ type Network struct {
 	// tr is the attached event tracer; nil (the default) disables tracing
 	// at zero cost on the transmit path.
 	tr *telemetry.Tracer
+
+	// onECN, when set, runs in scheduler context at packet receive time for
+	// every ECN-marked data packet, identifying the flow. The verbs layer
+	// installs it to generate congestion notification packets.
+	onECN func(from, to int, fromQP, toQP uint64)
 }
+
+// SetECNHandler installs h as the ECN-mark notification hook; nil detaches
+// it. Marks are still counted with no handler installed.
+func (n *Network) SetECNHandler(h func(from, to int, fromQP, toQP uint64)) { n.onECN = h }
 
 // SetTracer attaches an event tracer; nil detaches it. All layers above the
 // fabric (verbs, shuffle, cluster) reach the tracer through Tracer(), so a
@@ -237,6 +268,61 @@ func (n *Network) touch(nc *nic, qp uint64) sim.Duration {
 	return n.Prof.QPCacheMissPenalty
 }
 
+// lossyAdmit applies the lossy-Ethernet egress-port model to a data packet
+// of wire bytes arriving at dst from src at rnow. The port's buffer
+// occupancy is the backlog of bytes still queued on the downlink serializer.
+// In threshold order: a packet that would overrun SwitchBufferBytes is
+// tail-dropped (dropped == true); past PFCXoffBytes the port sends a pause
+// frame freezing src's data-lane uplink until the buffer would have drained
+// back to PFCXonBytes (re-pausing only once the previous pause has lapsed —
+// the XOFF/XON hysteresis); past ECNMarkBytes the packet is CE-marked
+// (marked == true). droppable is false for RC infrastructure transfers the
+// verbs layer cannot retry: those always get buffer, modelled as reserved
+// headroom, so congestion can never wedge the simulation.
+func (n *Network) lossyAdmit(src, dst *nic, qp uint64, wire int, bw float64, droppable bool, rnow sim.Time) (dropped, marked bool) {
+	prof := &n.Prof
+	occ := 0
+	if q := dst.rxBusy.Sub(rnow); q > 0 {
+		occ = int(float64(q) * bw / 1e9)
+	}
+	fill := occ + wire
+	if droppable && fill > prof.SwitchBufferBytes {
+		dst.stats.TailDrops++
+		return true, false
+	}
+	if fill >= prof.PFCXoffBytes {
+		// The pause frame takes one propagation delay to reach the sender;
+		// transmissions already serialized keep arriving meanwhile.
+		resume := rnow.Add(prof.PropagationDelay + Serialize(fill-prof.PFCXonBytes, bw))
+		cur := src.pfcPausedUntil
+		if cur < rnow {
+			cur = rnow
+		}
+		if resume > cur {
+			ext := resume.Sub(cur)
+			src.pfcPausedUntil = resume
+			src.stats.PFCPauseTime += ext
+			dst.stats.PFCPausesSent++
+			n.tr.Instant(rnow, telemetry.EvPFCPause, int32(src.id), qp, int64(ext), int64(dst.id))
+		}
+	}
+	// WRED-style ECN: the marking probability ramps linearly from 0 at the
+	// marking threshold to 1 at the pause threshold (and stays 1 above it).
+	// Probabilistic marking is what keeps the DCQCN control loop stable — a
+	// deterministic cliff would CNP every flow on every interval at
+	// equilibrium and crash rates to the floor. The draw comes from the
+	// seeded simulation RNG, so same-seed runs stay byte-identical.
+	if fill >= prof.ECNMarkBytes {
+		p := float64(fill-prof.ECNMarkBytes) / float64(prof.PFCXoffBytes-prof.ECNMarkBytes)
+		if p >= 1 || n.Sim.Rand().Float64() < p {
+			dst.stats.ECNMarks++
+			n.tr.Instant(rnow, telemetry.EvECNMark, int32(dst.id), qp, int64(wire), 0)
+			marked = true
+		}
+	}
+	return false, marked
+}
+
 // Transmit schedules delivery of m. It may be called from Procs or event
 // callbacks. The transmit engine of the source NIC and the receive engine of
 // the destination NIC are serving resources: messages queue in FIFO order
@@ -262,6 +348,11 @@ func (n *Network) Transmit(m *Message) {
 		// the pause window closes.
 		now = n.faults.pausedUntil(m.From, now)
 		bw *= n.faults.degradeFactor(m.From, m.To, now)
+	}
+	if prof.Lossy && !control && src.pfcPausedUntil > now {
+		// A PFC pause frame from a congested egress port has frozen this
+		// uplink's data priority; control traffic rides a separate one.
+		now = src.pfcPausedUntil
 	}
 	if q := src.txBusy.Sub(now); q > src.stats.TxBacklogPeak {
 		src.stats.TxBacklogPeak = q
@@ -354,11 +445,31 @@ func (n *Network) Transmit(m *Message) {
 			}
 			return
 		}
-		rxOcc := n.touch(dst, m.ToQP) + Serialize(wire, bw)
 		rnow := n.Sim.Now()
 		if !n.faults.Empty() {
 			rnow = n.faults.pausedUntil(m.To, rnow)
 		}
+		marked := false
+		if prof.Lossy && !control {
+			var tailDropped bool
+			tailDropped, marked = n.lossyAdmit(src, dst, m.ToQP, wire, bw,
+				m.Service == UD || m.Dropped != nil, rnow)
+			if tailDropped {
+				udBit := int64(0)
+				if m.Service == UD {
+					udBit = 1
+					dst.stats.UDDropped++
+				} else {
+					dst.stats.RCDropped++
+				}
+				n.tr.Instant(rnow, telemetry.EvTailDrop, int32(m.To), m.ToQP, int64(m.Payload), udBit)
+				if m.Dropped != nil {
+					m.Dropped()
+				}
+				return
+			}
+		}
+		rxOcc := n.touch(dst, m.ToQP) + Serialize(wire, bw)
 		if q := dst.rxBusy.Sub(rnow); q > dst.stats.RxBacklogPeak {
 			dst.stats.RxBacklogPeak = q
 		}
@@ -398,6 +509,9 @@ func (n *Network) Transmit(m *Message) {
 		} else {
 			dst.stats.RxDataBytes += int64(wire)
 		}
+		if marked && n.onECN != nil {
+			n.Sim.At(rxDone, func() { n.onECN(m.From, m.To, m.FromQP, m.ToQP) })
+		}
 		n.Sim.At(rxDone.Add(jitter), func() { m.Deliver(n.Sim.Now()) })
 	})
 }
@@ -421,6 +535,9 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 	now := n.Sim.Now()
 	if !n.faults.Empty() {
 		now = n.faults.pausedUntil(m.From, now)
+	}
+	if prof.Lossy && src.pfcPausedUntil > now {
+		now = src.pfcPausedUntil
 	}
 	if q := src.txBusy.Sub(now); q > src.stats.TxBacklogPeak {
 		src.stats.TxBacklogPeak = q
@@ -478,8 +595,23 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 				}
 				return
 			}
+			rnow := n.Sim.Now()
+			marked := false
+			if prof.Lossy {
+				var tailDropped bool
+				tailDropped, marked = n.lossyAdmit(src, dst, m.ToQP, wire,
+					prof.LinkBandwidth, true, rnow)
+				if tailDropped {
+					dst.stats.UDDropped++
+					n.tr.Instant(rnow, telemetry.EvTailDrop, int32(d), m.ToQP, int64(m.Payload), 1)
+					if m.Dropped != nil {
+						m.Dropped()
+					}
+					return
+				}
+			}
 			rxOcc := n.touch(dst, m.ToQP) + Serialize(wire, prof.LinkBandwidth)
-			rstart := n.Sim.Now()
+			rstart := rnow
 			if q := dst.rxBusy.Sub(rstart); q > dst.stats.RxBacklogPeak {
 				dst.stats.RxBacklogPeak = q
 			}
@@ -491,6 +623,9 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 			dst.stats.RxMessages++
 			dst.stats.RxBytes += int64(m.Payload)
 			dst.stats.RxDataBytes += int64(wire)
+			if marked && n.onECN != nil {
+				n.Sim.At(rxDone, func() { n.onECN(m.From, d, m.FromQP, m.ToQP) })
+			}
 			n.Sim.At(rxDone.Add(jitter), func() { deliver(d, n.Sim.Now()) })
 		})
 	}

@@ -93,6 +93,47 @@ type Profile struct {
 	// wire (bit errors; rare in practice).
 	UDLossRate float64
 
+	// Lossy Ethernet tier (RoCEv2). All zero on the InfiniBand and legacy
+	// lossless RoCE/iWARP profiles: Lossy == false keeps every congestion
+	// branch disabled, so those profiles are bit-for-bit unchanged.
+
+	// Lossy enables the Ethernet congestion model: per-egress-port buffer
+	// occupancy with ECN marking, PFC pause frames propagated upstream, and
+	// tail drop on overrun, instead of InfiniBand's lossless link-level
+	// credits.
+	Lossy bool
+	// SwitchBufferBytes is the per-egress-port shared-buffer allotment; a
+	// data packet that would overrun it is tail-dropped.
+	SwitchBufferBytes int
+	// PFCXoffBytes and PFCXonBytes are the pause hysteresis thresholds:
+	// when occupancy crosses XOFF the port sends a pause frame upstream and
+	// the arriving sender's uplink freezes until the port would have
+	// drained back to XON.
+	PFCXoffBytes, PFCXonBytes int
+	// ECNMarkBytes is the marking threshold (below XOFF, as DCQCN requires):
+	// data packets arriving above it are CE-marked and the receiver NIC
+	// answers with a congestion notification packet toward the sender QP.
+	ECNMarkBytes int
+
+	// DCQCN enables the per-QP rate limiter in the NIC TX engine (CNP on
+	// marked arrivals, multiplicative rate cut, additive/hyper recovery).
+	DCQCN bool
+	// CNPBytes is the payload size of one congestion notification packet
+	// (it rides the control lane).
+	CNPBytes int
+	// CNPInterval is the minimum per-flow gap between generated CNPs (the
+	// CNP timer of the DCQCN paper).
+	CNPInterval sim.Duration
+	// DCQCNAlphaG is the EWMA gain g of the congestion estimate alpha.
+	DCQCNAlphaG float64
+	// DCQCNRateAI is the additive-increase step in bytes/s applied to the
+	// target rate each recovery period.
+	DCQCNRateAI float64
+	// DCQCNMinRate floors the per-QP rate so a cut flow keeps probing.
+	DCQCNMinRate float64
+	// DCQCNRecoveryPeriod is the rate/alpha recovery timer period.
+	DCQCNRecoveryPeriod sim.Duration
+
 	// Host CPU cost model.
 
 	// PostCost is the CPU cost of one ibv_post_send/ibv_post_recv call.
@@ -237,6 +278,36 @@ func RoCE() Profile {
 	p.HeaderUD = 86
 	p.QPCacheSize = 512
 	p.Threads = 14
+	return p
+}
+
+// RoCEv2Lossy returns the RoCE profile with the lossless illusion removed:
+// the same 40 GbE wire, but switch egress ports have finite shared buffers,
+// congestion marks ECN below the PFC pause point, overruns tail-drop, and the
+// NICs run a DCQCN-style per-QP rate limiter. Drops and pauses are emergent
+// from traffic, not injected faults. Thresholds follow common shallow-buffer
+// ToR tuning: mark early (96 KiB), pause late (192 KiB), drop only when the
+// 288 KiB allotment is exhausted; XON at 128 KiB gives pause hysteresis.
+func RoCEv2Lossy() Profile {
+	p := RoCE()
+	p.Name = "RoCEv2"
+	p.Lossy = true
+	p.SwitchBufferBytes = 288 << 10
+	p.PFCXoffBytes = 192 << 10
+	p.PFCXonBytes = 128 << 10
+	p.ECNMarkBytes = 96 << 10
+	p.DCQCN = true
+	p.CNPBytes = 58
+	p.CNPInterval = 50 * time.Microsecond
+	// The DCQCN paper uses g = 1/256 with a dedicated 55 µs alpha timer; we
+	// piggyback the alpha decay on the recovery timer, and on the few-ms
+	// timescale of a whole shuffle alpha must relax within hundreds of
+	// microseconds or every CNP keeps halving the rate. g = 1/16 gives the
+	// same equilibrium shape at our timescale.
+	p.DCQCNAlphaG = 1.0 / 16
+	p.DCQCNRateAI = 80e6
+	p.DCQCNMinRate = 60e6
+	p.DCQCNRecoveryPeriod = 55 * time.Microsecond
 	return p
 }
 

@@ -1,0 +1,64 @@
+package fabric
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLosslessProfilesPinned pins the legacy RoCE()/IWARP() extension
+// profiles field by field: the lossy RoCEv2 tier must not disturb them, or
+// the calibrated BenchmarkExtFabrics numbers (~4.1 GiB/s SEMQ/SR on RoCE)
+// silently shift. If a pinned value changes deliberately, update this test
+// AND re-derive the throughput window in internal/experiments.
+func TestLosslessProfilesPinned(t *testing.T) {
+	_ = RoCEv2Lossy() // constructing the lossy profile must not leak state
+	roce, iw := RoCE(), IWARP()
+
+	for _, c := range []struct {
+		name string
+		got  any
+		want any
+	}{
+		{"RoCE.LinkBandwidth", roce.LinkBandwidth, 4.45e9},
+		{"RoCE.PropagationDelay", roce.PropagationDelay, 900 * time.Nanosecond},
+		{"RoCE.SwitchDelay", roce.SwitchDelay, 600 * time.Nanosecond},
+		{"RoCE.MTU", roce.MTU, 4096},
+		{"RoCE.HeaderRC", roce.HeaderRC, 58},
+		{"RoCE.HeaderUD", roce.HeaderUD, 86},
+		{"RoCE.QPCacheSize", roce.QPCacheSize, 512},
+		{"RoCE.SupportsUD", roce.SupportsUD, true},
+		{"RoCE.Threads", roce.Threads, 14},
+		{"iWARP.LinkBandwidth", iw.LinkBandwidth, 4.45e9},
+		{"iWARP.HeaderRC", iw.HeaderRC, 94},
+		{"iWARP.WQEProcessing", iw.WQEProcessing, 80 * time.Nanosecond},
+		{"iWARP.PropagationDelay", iw.PropagationDelay, 1500 * time.Nanosecond},
+		{"iWARP.PostCost", iw.PostCost, 360 * time.Nanosecond},
+		{"iWARP.SupportsUD", iw.SupportsUD, false},
+	} {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+
+	// The whole lossy tier must be disabled on the legacy profiles.
+	for _, p := range []Profile{roce, iw, FDR(), EDR()} {
+		if p.Lossy || p.DCQCN {
+			t.Errorf("%s: lossy tier enabled on a lossless profile", p.Name)
+		}
+		if p.SwitchBufferBytes != 0 || p.PFCXoffBytes != 0 || p.PFCXonBytes != 0 || p.ECNMarkBytes != 0 {
+			t.Errorf("%s: lossy thresholds set on a lossless profile", p.Name)
+		}
+	}
+
+	// And the lossy profile must keep its thresholds ordered as DCQCN
+	// requires: mark < XON < XOFF < buffer.
+	lp := RoCEv2Lossy()
+	if !lp.Lossy || !lp.DCQCN {
+		t.Fatal("RoCEv2Lossy must enable the lossy tier and DCQCN")
+	}
+	if !(lp.ECNMarkBytes < lp.PFCXonBytes && lp.PFCXonBytes < lp.PFCXoffBytes &&
+		lp.PFCXoffBytes < lp.SwitchBufferBytes) {
+		t.Fatalf("threshold order violated: mark %d, xon %d, xoff %d, buffer %d",
+			lp.ECNMarkBytes, lp.PFCXonBytes, lp.PFCXoffBytes, lp.SwitchBufferBytes)
+	}
+}

@@ -34,6 +34,10 @@ func (n *Network) PublishMetrics(reg *telemetry.Registry) {
 		{"rc_dropped", func(s *NICStats) int64 { return s.RCDropped }},
 		{"rc_retransmits", func(s *NICStats) int64 { return s.RCRetransmits }},
 		{"read_requests", func(s *NICStats) int64 { return s.ReadRequests }},
+		{"pfc_pauses_sent", func(s *NICStats) int64 { return s.PFCPausesSent }},
+		{"pfc_pause_ns", func(s *NICStats) int64 { return int64(s.PFCPauseTime) }},
+		{"ecn_marks", func(s *NICStats) int64 { return s.ECNMarks }},
+		{"tail_drops", func(s *NICStats) int64 { return s.TailDrops }},
 	}
 	for _, it := range items {
 		total := reg.Counter("fabric." + it.name + ".total")

@@ -112,3 +112,65 @@ func TestNotifyPeerDownHandlersAndIdempotence(t *testing.T) {
 		t.Fatal("UD QP has no peer and must survive a peer-down event")
 	}
 }
+
+// TestPeerDownCancelsPendingRetransmit races the per-QP retransmission
+// timer against a connection-manager disconnect: a send is dropped by the
+// fabric (arming the go-back-N timer), then the peer is declared down well
+// before the local ACK timeout expires. The pending timer must be cancelled
+// outright — the lost window discarded, the WR completed as WCPeerDown, and
+// nothing retransmitted into the torn-down QP when the timeout would have
+// fired.
+func TestPeerDownCancelsPendingRetransmit(t *testing.T) {
+	r := newRig(t, 2)
+	// Drop exactly the first RC packet toward the peer.
+	r.net.Faults().Add(fabric.FaultRule{
+		Class: fabric.FaultRCLoss, From: 0, To: 1, Count: 1,
+	})
+	qpa, _, cqa, _ := r.rcPair(0, 1)
+	retryDelay := r.net.Prof.TransportRetryDelay
+
+	sink := make([]byte, 64)
+	rmr := r.devs[1].RegisterMRNoCost(sink)
+	var got CQE
+	var txAfterTeardown int64
+	r.sim.Spawn("race", func(p *sim.Proc) {
+		buf := make([]byte, 64)
+		mr := r.devs[0].RegisterMRNoCost(buf)
+		if err := qpa.PostSend(p, SendWR{ID: 21, Op: OpWrite, MR: mr, Len: 64,
+			RemoteKey: rmr.RKey}); err != nil {
+			t.Error(err)
+			return
+		}
+		// Let the drop land and arm the retransmission timer, then tear the
+		// peer down long before the ACK timeout would fire.
+		p.Sleep(50 * time.Microsecond)
+		if !qpa.retx.armed || len(qpa.retx.queue) != 1 {
+			t.Errorf("retx engine not armed before teardown: armed=%v queue=%d",
+				qpa.retx.armed, len(qpa.retx.queue))
+		}
+		r.devs[0].NotifyPeerDown(1)
+		if qpa.retx.armed || qpa.retx.queue != nil {
+			t.Error("peer-down left the retransmission timer armed")
+		}
+		txAfterTeardown = r.net.Stats(0).TxMessages
+		var es [1]CQE
+		cqa.WaitPoll(p, es[:])
+		got = es[0]
+		// Outlive the original timer deadline: a stale firing must not
+		// replay the lost window.
+		p.Sleep(2 * retryDelay)
+	})
+	if err := r.sim.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != WCPeerDown || got.WRID != 21 {
+		t.Fatalf("completion = %+v, want WCPeerDown for WRID 21", got)
+	}
+	if tx := r.net.Stats(0).TxMessages; tx != txAfterTeardown {
+		t.Fatalf("node 0 transmitted %d messages after teardown (was %d): stale retransmit fired",
+			tx, txAfterTeardown)
+	}
+	if qpa.State() != QPError {
+		t.Fatalf("QP state = %v, want QPError", qpa.State())
+	}
+}

@@ -94,6 +94,13 @@ type QP struct {
 	stalled      []stalledRC
 	drainPending bool
 
+	// retx is the per-QP transport retransmission engine (see retx.go).
+	retx retxState
+	// txNextFree is the NIC TX engine's token bucket for this QP: on lossy
+	// DCQCN profiles, sends are released no faster than the QP's current
+	// rate (see pacedSend).
+	txNextFree sim.Time
+
 	state     QPState
 	destroyed bool
 }
@@ -147,9 +154,11 @@ func (qp *QP) Type() fabric.Service { return qp.cfg.Type }
 // State returns the queue pair state.
 func (qp *QP) State() QPState { return qp.state }
 
-// Destroy removes the QP; subsequent deliveries to it are dropped.
+// Destroy removes the QP; subsequent deliveries to it are dropped and any
+// pending retransmission timer is cancelled.
 func (qp *QP) Destroy() {
 	qp.destroyed = true
+	qp.cancelRetx()
 	delete(qp.dev.qps, qp.qpn)
 }
 
@@ -282,6 +291,7 @@ func (qp *QP) enterError(trigger CQE) {
 		return
 	}
 	qp.state = QPError
+	qp.cancelRetx()
 	qp.dev.stats.QPErrors++
 	now := qp.dev.net.Sim.Now()
 	qp.dev.tr().Instant(now, telemetry.EvQPError,
@@ -318,6 +328,7 @@ func (qp *QP) forceError(st WCStatus) {
 		return
 	}
 	qp.state = QPError
+	qp.cancelRetx()
 	qp.dev.stats.QPErrors++
 	now := qp.dev.net.Sim.Now()
 	qp.dev.tr().Instant(now, telemetry.EvQPError,
@@ -393,37 +404,8 @@ func (qp *QP) postSendMsg(p *sim.Proc, wr SendWR) error {
 		}
 		qp.armRetry(msg, wr.ID, OpSend)
 	}
-	net.Transmit(msg)
+	qp.sendPaced(msg)
 	return nil
-}
-
-// armRetry installs the transport-level retransmit handler on an RC message:
-// a packet the fabric reports lost is re-sent after TransportRetryDelay, at
-// most RetryCount times, after which the QP enters the Error state with a
-// WCRetryExceeded completion (ibv retry_cnt semantics).
-func (qp *QP) armRetry(msg *fabric.Message, wrID uint64, op Opcode) {
-	prof := qp.dev.prof()
-	net := qp.dev.net
-	attempts := 0
-	msg.Dropped = func() {
-		if qp.state == QPError || qp.destroyed {
-			return
-		}
-		attempts++
-		if attempts > prof.RetryCount {
-			qp.enterError(CQE{QPN: qp.qpn, WRID: wrID, Op: op, Status: WCRetryExceeded})
-			return
-		}
-		qp.dev.stats.TransportRetries++
-		qp.dev.tr().Instant(net.Sim.Now(), telemetry.EvTransportRetry,
-			int32(qp.dev.node), qp.cacheKey(), int64(wrID), int64(attempts))
-		net.Sim.After(prof.TransportRetryDelay, func() {
-			if qp.state == QPError || qp.destroyed {
-				return
-			}
-			net.Transmit(msg)
-		})
-	}
 }
 
 // postMulticast sends one datagram to every QP attached to the MGID.
@@ -463,10 +445,12 @@ func (qp *QP) postMulticast(p *sim.Proc, wr SendWR) error {
 		Dropped: func() {},
 	}
 	src, srcQPN := qp.dev.node, qp.qpn
-	net.TransmitMulticast(msg, nodes, func(dest int, at sim.Time) {
-		for _, rqp := range members[dest] {
-			deliverUD(net, dest, rqp.qpn, src, srcQPN, payload, wr)
-		}
+	qp.pacedSend(net.Prof.WireBytes(wr.Len, fabric.UD), func() {
+		net.TransmitMulticast(msg, nodes, func(dest int, at sim.Time) {
+			for _, rqp := range members[dest] {
+				deliverUD(net, dest, rqp.qpn, src, srcQPN, payload, wr)
+			}
+		})
 	})
 	return nil
 }
@@ -661,9 +645,14 @@ func (qp *QP) postRead(wr SendWR) error {
 			qp.complete(qp.cfg.SendCQ, CQE{QPN: qp.qpn, WRID: wr.ID, Op: OpRead, Bytes: wr.Len})
 		}
 		// A lost response is retransmitted by the responder NIC; each leg
-		// carries its own retry_cnt budget.
+		// carries its own retry_cnt budget. The responder's own QP paces the
+		// bulk leg, so a congestion-cut server streams reads at its cut rate.
 		qp.armRetry(resp, wr.ID, OpRead)
-		net.Transmit(resp)
+		if rqp := remote.qps[qp.peerQPN]; rqp != nil {
+			rqp.sendPaced(resp)
+		} else {
+			net.Transmit(resp)
+		}
 	}
 	qp.armRetry(req, wr.ID, OpRead)
 	net.Transmit(req)
@@ -711,7 +700,7 @@ func (qp *QP) postWrite(p *sim.Proc, wr SendWR) error {
 		})
 	}
 	qp.armRetry(msg, wr.ID, OpWrite)
-	net.Transmit(msg)
+	qp.sendPaced(msg)
 	return nil
 }
 
@@ -727,6 +716,7 @@ func OpenAll(net *fabric.Network) []*Device {
 		devs[i] = Open(net, i)
 		net.SetHost(i, devs[i])
 	}
+	installECN(net)
 	return devs
 }
 

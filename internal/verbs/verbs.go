@@ -118,6 +118,12 @@ type Device struct {
 	deadPeers   map[int]bool
 	peerDownFns []func(peer int)
 
+	// rl holds the active DCQCN rate limiters by local QPN (lossy tier
+	// only); a QP with no entry transmits at line rate. cnpLast coalesces
+	// CNP generation per remote flow (keyed by the sender's QP cache key).
+	rl      map[uint32]*dcqcn
+	cnpLast map[uint64]sim.Time
+
 	stats DeviceStats
 }
 
@@ -131,10 +137,16 @@ type DeviceStats struct {
 	RecvsCompleted  int64
 	ReadsCompleted  int64
 	WritesCompleted int64
-	// TransportRetries counts RC packets retransmitted after an injected
-	// loss; QPErrors counts queue pairs that entered the Error state.
+	// TransportRetries counts RC packets queued for retransmission after a
+	// loss (injected or congestion tail drop); QPErrors counts queue pairs
+	// that entered the Error state.
 	TransportRetries int64
 	QPErrors         int64
+	// CNPsSent counts congestion notification packets this device generated
+	// for ECN-marked arrivals; CNPsReceived counts CNPs applied to local
+	// QPs; RateCuts counts the resulting multiplicative rate cuts.
+	CNPsSent, CNPsReceived int64
+	RateCuts               int64
 	// QPsCreated counts CreateQP calls; the telemetry layer derives the
 	// paper's Table 1 Queue Pair census from it.
 	QPsCreated int64
@@ -148,6 +160,7 @@ func Open(net *fabric.Network, node int) *Device {
 		qps:   make(map[uint32]*QP),
 		mrs:   make(map[uint32]*MR),
 		mcast: make(map[uint32][]*QP),
+		rl:    make(map[uint32]*dcqcn),
 	}
 	d.memWake = net.Sim.NewCond(fmt.Sprintf("memwake@%d", node))
 	return d
@@ -182,6 +195,9 @@ func (d *Device) PublishMetrics(reg *telemetry.Registry) {
 		{"writes_completed", d.stats.WritesCompleted},
 		{"qp_errors", d.stats.QPErrors},
 		{"qps_created", d.stats.QPsCreated},
+		{"cnps_sent", d.stats.CNPsSent},
+		{"cnps_received", d.stats.CNPsReceived},
+		{"rate_cuts", d.stats.RateCuts},
 	} {
 		reg.Counter(fmt.Sprintf("verbs.%s.node%d", it.name, d.node)).Add(it.v)
 		reg.Counter("verbs." + it.name + ".total").Add(it.v)

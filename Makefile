@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-full vet race fmt trace trace-rocev2 lossy-smoke bench bench-smoke
+.PHONY: build test test-full vet race fmt trace trace-rocev2 lossy-smoke bench bench-smoke bench-gate profile
 
 build:
 	$(GO) build ./...
@@ -59,11 +59,48 @@ lossy-smoke:
 # plus whole-query macro, exported as BENCH_sim.json for regression tracking.
 # Each run appends to the file's run history (the old single-run schema is
 # absorbed as the first entry), so repeated invocations build a series.
+# benchjson is built before the benchmarks start: `go test | go run ...`
+# compiles the consumer concurrently with the first benchmarks in the pipe,
+# which inflates their ns/op on small machines.
 BENCH_PKGS = ./internal/sim/ ./internal/cluster/
 bench:
-	$(GO) test -run='^$$' -bench=. -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -append -o BENCH_sim.json
+	@tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/benchjson ./cmd/benchjson && \
+	$(GO) test -run='^$$' -bench=. -benchmem $(BENCH_PKGS) | $$tmp/benchjson -append -o BENCH_sim.json
 
 # CI smoke: every benchmark runs one iteration, proving the harness and the
 # JSON export stay green without paying for steady-state measurements.
 bench-smoke:
-	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -o BENCH_sim.json
+	@tmp=$$(mktemp -d); trap 'rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/benchjson ./cmd/benchjson && \
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=1x $(BENCH_PKGS) | $$tmp/benchjson -o BENCH_sim.json
+
+# Bench regression gate: benchmark the smoke set at the working tree AND at
+# GATE_BASE (default origin/main) on the same machine, then fail on a >15%
+# ns/op regression via benchjson -compare. Same-machine A/B is the only
+# honest comparison — ns/op from the checked-in history was measured on
+# different hardware. Each side runs GATE_COUNT repetitions and benchjson
+# keeps the fastest (noise only adds time; single repetitions make the
+# ~1 µs channel-handoff benchmarks flap by ±20%). Benchmarks that exist on
+# only one side are reported but never fail the gate.
+GATE_BASE ?= origin/main
+GATE_BENCHTIME ?= 300ms
+GATE_COUNT ?= 3
+bench-gate:
+	@tmp=$$(mktemp -d); trap 'git worktree remove -f $$tmp/base 2>/dev/null; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/benchjson ./cmd/benchjson && \
+	$(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(GATE_BENCHTIME) -count=$(GATE_COUNT) $(BENCH_PKGS) | $$tmp/benchjson -o $$tmp/new.json && \
+	git worktree add -q --detach $$tmp/base $(GATE_BASE) && \
+	( cd $$tmp/base && $(GO) test -run='^$$' -bench=. -benchmem -benchtime=$(GATE_BENCHTIME) -count=$(GATE_COUNT) $(BENCH_PKGS) ) | $$tmp/benchjson -o $$tmp/old.json && \
+	$$tmp/benchjson -compare $$tmp/old.json $$tmp/new.json -threshold 0.15
+
+# CPU + heap profile of a whole-query run: future kernel work starts from a
+# pprof, not a guess. Tune PROFILE_EXP to the experiment you care about.
+PROFILE_EXP ?= table1
+profile:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o $$tmp/shufflebench ./cmd/shufflebench && \
+	$$tmp/shufflebench -exp $(PROFILE_EXP) -cpuprofile cpu.prof -memprofile mem.prof >/dev/null && \
+	echo "wrote cpu.prof and mem.prof; inspect with:" && \
+	echo "  $(GO) tool pprof -top cpu.prof" && \
+	echo "  $(GO) tool pprof -top -sample_index=alloc_space mem.prof"

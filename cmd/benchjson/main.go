@@ -7,6 +7,20 @@
 // Usage:
 //
 //	go test -run='^$' -bench=. -benchmem ./internal/sim/ | benchjson -o BENCH_sim.json
+//
+// When -count>1 repeats a benchmark, the fastest repetition is kept:
+// scheduler and cache interference only ever add time, so the minimum is
+// the noise-robust estimate the regression gate should judge.
+//
+// Regression gate mode: -compare diffs two runs and exits non-zero when any
+// benchmark's ns/op regressed by more than -threshold (fractional; 0.15 =
+// 15%). With two file arguments it compares their latest runs; with one
+// argument it compares the last two runs of that file's -append history.
+// CI runs the smoke benches through it so a hot-path regression fails the
+// build instead of landing silently.
+//
+//	benchjson -compare old.json new.json -threshold 0.15
+//	benchjson -compare BENCH_sim.json
 package main
 
 import (
@@ -47,10 +61,34 @@ type History struct {
 func main() {
 	out := flag.String("o", "BENCH_sim.json", "output file")
 	appendRun := flag.Bool("append", false, "append this run to the output file's run history instead of overwriting")
+	compare := flag.Bool("compare", false, "compare runs and exit non-zero on ns/op regression: two file args = their latest runs, one file arg = the last two runs of its history")
+	threshold := flag.Float64("threshold", 0.15, "fractional ns/op regression that fails -compare (0.15 = 15%)")
 	flag.Parse()
+
+	if *compare {
+		// Accept flags after the file arguments (`-compare a.json b.json
+		// -threshold 0.15`): stdlib flag parsing stops at the first
+		// positional, so re-parse whenever one of the remaining arguments
+		// still looks like a flag.
+		rest := flag.Args()
+		var files []string
+		for len(rest) > 0 {
+			if strings.HasPrefix(rest[0], "-") {
+				if err := flag.CommandLine.Parse(rest); err != nil {
+					os.Exit(2)
+				}
+				rest = flag.Args()
+				continue
+			}
+			files = append(files, rest[0])
+			rest = rest[1:]
+		}
+		os.Exit(runCompare(files, *threshold))
+	}
 
 	rep := Report{Benchmarks: []Benchmark{}}
 	pkg := ""
+	idx := map[string]int{} // Pkg+"."+Name -> position in rep.Benchmarks
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -65,9 +103,23 @@ func main() {
 		case strings.HasPrefix(line, "pkg: "):
 			pkg = strings.TrimPrefix(line, "pkg: ")
 		case strings.HasPrefix(line, "Benchmark"):
-			if b, ok := parseLine(line, pkg); ok {
-				rep.Benchmarks = append(rep.Benchmarks, b)
+			b, ok := parseLine(line, pkg)
+			if !ok {
+				break
 			}
+			// -count>1 repeats each benchmark; keep the fastest repetition.
+			// The minimum is the noise-robust estimator for gating — scheduler
+			// and cache interference only ever add time — where a single
+			// repetition makes channel-handoff-bound benchmarks flap by ±20%
+			// on a busy machine.
+			if j, seen := idx[b.Pkg+"."+b.Name]; seen {
+				if b.Metrics["ns/op"] < rep.Benchmarks[j].Metrics["ns/op"] {
+					rep.Benchmarks[j] = b
+				}
+				break
+			}
+			idx[b.Pkg+"."+b.Name] = len(rep.Benchmarks)
+			rep.Benchmarks = append(rep.Benchmarks, b)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -100,6 +152,82 @@ func main() {
 		return
 	}
 	fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(rep.Benchmarks), *out)
+}
+
+// runCompare loads the baseline and candidate runs, diffs ns/op per
+// benchmark, prints a verdict line for each, and returns the process exit
+// code: 0 when no benchmark regressed past the threshold, 1 otherwise.
+// Benchmarks present on only one side are reported but never fail the gate
+// (new benchmarks appear, retired ones disappear; neither is a regression).
+func runCompare(args []string, threshold float64) int {
+	var oldRun, newRun Report
+	var oldLabel, newLabel string
+	switch len(args) {
+	case 1:
+		hist := loadHistory(args[0])
+		if len(hist.Runs) < 2 {
+			fmt.Fprintf(os.Stderr, "benchjson: %s has %d run(s); -compare needs two\n",
+				args[0], len(hist.Runs))
+			return 1
+		}
+		oldRun, newRun = hist.Runs[len(hist.Runs)-2], hist.Runs[len(hist.Runs)-1]
+		oldLabel, newLabel = "previous run", "latest run"
+	case 2:
+		for i, p := range []string{args[0], args[1]} {
+			hist := loadHistory(p)
+			if len(hist.Runs) == 0 {
+				fmt.Fprintf(os.Stderr, "benchjson: %s holds no benchmark runs\n", p)
+				return 1
+			}
+			if i == 0 {
+				oldRun = hist.Runs[len(hist.Runs)-1]
+			} else {
+				newRun = hist.Runs[len(hist.Runs)-1]
+			}
+		}
+		oldLabel, newLabel = args[0], args[1]
+	default:
+		fmt.Fprintln(os.Stderr, "benchjson: -compare takes one history file or two run files")
+		return 1
+	}
+
+	oldNs := map[string]float64{}
+	for _, b := range oldRun.Benchmarks {
+		oldNs[b.Pkg+"."+b.Name] = b.Metrics["ns/op"]
+	}
+	fmt.Printf("benchjson: comparing %s -> %s (threshold %+.0f%% ns/op)\n",
+		oldLabel, newLabel, threshold*100)
+	failed := 0
+	for _, b := range newRun.Benchmarks {
+		key := b.Pkg + "." + b.Name
+		was, ok := oldNs[key]
+		now := b.Metrics["ns/op"]
+		delete(oldNs, key)
+		if !ok {
+			fmt.Printf("  new      %-40s %12.1f ns/op\n", b.Name, now)
+			continue
+		}
+		if was <= 0 || now <= 0 {
+			continue
+		}
+		delta := now/was - 1
+		verdict := "ok"
+		if delta > threshold {
+			verdict = "REGRESSED"
+			failed++
+		}
+		fmt.Printf("  %-8s %-40s %12.1f -> %10.1f ns/op (%+.1f%%)\n",
+			verdict, b.Name, was, now, delta*100)
+	}
+	for key := range oldNs {
+		fmt.Printf("  retired  %s\n", key)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%%\n",
+			failed, threshold*100)
+		return 1
+	}
+	return 0
 }
 
 // loadHistory reads the existing output file, accepting both the history

@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"rshuffle/internal/fabric"
+	"rshuffle/internal/shuffle"
+)
+
+// TestBatchedArrivalEquivalence pins the fabric's batched-arrival fast
+// path against the per-message specification: every Table 1 design, run at
+// the same seed with batching on and off, must produce an identical
+// BenchResult down to the per-phase NIC counters. At this scale no
+// delivery ties with an unrelated same-instant event, so the two paths
+// must agree bit-for-bit and any divergence — a virtual nanosecond of
+// Elapsed, one byte of traffic, one QP-cache miss — is a bug in the
+// drain's ordering or window arithmetic. (At larger scales simultaneous-
+// event ties may legitimately resolve differently between the paths; see
+// SetArrivalBatching and DESIGN.md "Kernel performance".)
+func TestBatchedArrivalEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second experiment")
+	}
+	run := func(alg shuffle.Algorithm, batched bool) *BenchResult {
+		// EDR with its default UD reorder probability: the UD designs must
+		// agree even when transmit-time jitter draws are in play.
+		c := New(fabric.EDR(), 4, 0, 42)
+		c.Net.SetArrivalBatching(batched)
+		res, err := c.RunBench(BenchOpts{
+			Factory:     RDMAProvider(alg.Config(c.Threads)),
+			RowsPerNode: 50000,
+		})
+		if err != nil {
+			t.Fatalf("%s batched=%v: %v", alg.Name, batched, err)
+		}
+		if res.Err != nil {
+			t.Fatalf("%s batched=%v: %v", alg.Name, batched, res.Err)
+		}
+		return res
+	}
+	for _, alg := range shuffle.Algorithms {
+		t.Run(alg.Name, func(t *testing.T) {
+			batched, exact := run(alg, true), run(alg, false)
+			if !reflect.DeepEqual(batched, exact) {
+				t.Errorf("batched and per-message paths diverge\nbatched: %+v\nexact:   %+v",
+					batched, exact)
+			}
+		})
+	}
+}

@@ -380,5 +380,23 @@ func (c *Cluster) RunBench(opts BenchOpts) (*BenchResult, error) {
 	if err := c.Sim.Run(); err != nil {
 		return nil, err
 	}
+	c.Recycle()
 	return res, nil
+}
+
+// Recycle tears the cluster down after its simulation finishes: every
+// pooled registered ring on the cluster's devices returns to the
+// process-wide buffer pool, and the simulation's Proc goroutines are shut
+// down (see sim.Shutdown — without this, each discarded cluster leaks its
+// parked goroutines and everything they pin, and sweeps over many clusters
+// slow down as the GC's mark work grows). The simulation must be finished
+// and must not run again: a recycled ring may immediately back an endpoint
+// in another cluster. RunBench calls it on completion; call it directly
+// after hand-rolled runs (tpch queries) that drive c.Sim.Run themselves.
+// Idempotent. Reading results, stats, and c.Sim.Events() remains safe.
+func (c *Cluster) Recycle() {
+	for _, d := range c.Devs {
+		d.RecycleMRs()
+	}
+	c.Sim.Shutdown()
 }

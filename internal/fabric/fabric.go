@@ -124,6 +124,10 @@ type nic struct {
 	// message overtake bulk data.
 	txOrder map[uint64]sim.Time
 	rxOrder map[uint64]sim.Time
+	// pend[pendHead:] are this source's batch-queued arrivals, sorted by
+	// (arrive, seq); the drained prefix is reclaimed when the queue empties.
+	pend     []pendingArrival
+	pendHead int
 }
 
 // orderFloor returns t clamped to be no earlier than the previous value for
@@ -157,6 +161,45 @@ type Network struct {
 	// every ECN-marked data packet, identifying the flow. The verbs layer
 	// installs it to generate congestion notification packets.
 	onECN func(from, to int, fromQP, toQP uint64)
+
+	// Batched arrival processing (the NIC RX fast path). On lossless,
+	// fault-free, untraced runs every arrival-side computation — switch-port
+	// accounting, QP-cache touch, downlink serialization — is a pure
+	// function of the arrival instant, so instead of one scheduler event per
+	// message the fabric queues arrivals per source NIC and a single drain
+	// event processes a whole lookahead window of them per kernel dispatch.
+	// Arrivals are near-monotone per source (a source's TX backlog
+	// serializes in order; only the control fast lane jumps the queue), so
+	// each source queue inserts at or near its tail in O(1), and the drain
+	// K-way-merges the source heads in global (arrive, transmit) order. See
+	// Transmit for the gating and the ordering argument.
+	pendCount int
+	pendSeq   uint64
+	// drain is the pending wheel timer for the next drain; drainAt is the
+	// instant it fires (the earliest pending arrival).
+	drain      sim.Timer
+	drainArmed bool
+	drainAt    sim.Time
+	// lookahead caches Prof.Lookahead(): no transmit issued at or after the
+	// drain instant T can arrive before T+lookahead, so the window
+	// [T, T+lookahead) is closed when the drain runs.
+	lookahead sim.Duration
+	// batchOff forces the exact per-message arrival path even when the
+	// fast-path conditions hold (SetArrivalBatching). The equivalence test
+	// uses it to A/B the two paths at the same seed.
+	batchOff bool
+}
+
+// pendingArrival is one queued fast-path arrival: everything the arrival
+// computation needs, decided at transmit time. seq is the global transmit
+// order, the tie-break for equal arrival instants across sources.
+type pendingArrival struct {
+	m       *Message
+	arrive  sim.Time
+	seq     uint64
+	wire    int
+	jitter  sim.Duration
+	control bool
 }
 
 // SetECNHandler installs h as the ECN-mark notification hook; nil detaches
@@ -165,12 +208,42 @@ func (n *Network) SetECNHandler(h func(from, to int, fromQP, toQP uint64)) { n.o
 
 // SetTracer attaches an event tracer; nil detaches it. All layers above the
 // fabric (verbs, shuffle, cluster) reach the tracer through Tracer(), so a
-// single attachment instruments the whole stack.
-func (n *Network) SetTracer(t *telemetry.Tracer) { n.tr = t }
+// single attachment instruments the whole stack. Attaching a tracer
+// disables the batched-arrival fast path from the next transmit on (traced
+// runs take the exact per-message path so traces stay byte-identical);
+// already-queued arrivals are flushed to per-message events first.
+func (n *Network) SetTracer(t *telemetry.Tracer) {
+	n.flushPending()
+	n.tr = t
+}
 
 // Tracer returns the attached tracer; nil means tracing is disabled, and a
 // nil *telemetry.Tracer is safe to emit on (every method is a no-op).
 func (n *Network) Tracer() *telemetry.Tracer { return n.tr }
+
+// SetArrivalBatching enables (the default) or disables the batched-arrival
+// fast path. Disabling flushes any queued arrivals to exact per-message
+// events and routes every later transmit through the per-message path.
+//
+// Equivalence contract: both paths compute identical per-message arrival
+// arithmetic and process arrivals in the same (arrive, transmit-seq)
+// order, so all per-message timing is bit-equal. The batched path does,
+// however, schedule deliver events at drain time — earlier in the
+// kernel's global sequence than the per-message path, which schedules
+// them at the arrival instant — so when a delivery ties with an unrelated
+// event at the same virtual nanosecond the tie can resolve in the other
+// order. Both resolutions are valid serializations of simultaneous
+// events, and each path is individually deterministic per seed; at scale
+// this shifts figure-level throughput numbers by at most the last printed
+// digit (see DESIGN.md, "Kernel performance"). The equivalence test
+// drives this switch and pins the two paths identical where no such ties
+// arise.
+func (n *Network) SetArrivalBatching(on bool) {
+	if !on {
+		n.flushPending()
+	}
+	n.batchOff = !on
+}
 
 // SetHost attaches an opaque host context to node i.
 func (n *Network) SetHost(i int, h any) {
@@ -192,6 +265,7 @@ func (n *Network) Host(i int) any {
 func New(s *sim.Simulation, prof Profile, n int) *Network {
 	net := &Network{Sim: s, Prof: prof, nics: make([]*nic, n)}
 	net.faults.rng = s.Rand()
+	net.lookahead = prof.Lookahead()
 	for i := range net.nics {
 		net.nics[i] = &nic{id: i, cache: newQPCache(prof.QPCacheSize, s.Rand()),
 			txOrder: make(map[uint64]sim.Time), rxOrder: make(map[uint64]sim.Time)}
@@ -225,8 +299,15 @@ func (n *Network) ResetStats() {
 	}
 }
 
-// Faults exposes the network's fault schedule for installing rules.
-func (n *Network) Faults() *FaultPlan { return &n.faults }
+// Faults exposes the network's fault schedule for installing rules. Like
+// SetTracer it first flushes any batch-queued arrivals to per-message
+// events: messages already in flight were transmitted under the old (empty)
+// plan and keep their decided fate, while every later transmit sees the new
+// rules and takes the exact per-message path.
+func (n *Network) Faults() *FaultPlan {
+	n.flushPending()
+	return &n.faults
+}
 
 // Crashed reports whether node is crash-stopped at time at (a FaultCrash
 // rule names it with Start <= at). A crashed node's links are cut: nothing
@@ -248,7 +329,7 @@ func (n *Network) CrashTime(node int) (sim.Time, bool) { return n.faults.crashTi
 // for fault-injection tests. It is a convenience wrapper over a
 // deterministic count rule in the fault plan (no RNG draws).
 func (n *Network) InjectUDLoss(node, k int) {
-	n.faults.Add(FaultRule{Class: FaultUDLoss, From: AnyNode, To: node, Count: k})
+	n.Faults().Add(FaultRule{Class: FaultUDLoss, From: AnyNode, To: node, Count: k})
 }
 
 // touch charges the QP-cache cost of accessing qp state on nc and returns
@@ -424,6 +505,19 @@ func (n *Network) Transmit(m *Message) {
 	// switching, then serializes onto the receiver downlink. The downlink is
 	// the incast bottleneck: simultaneous senders queue here.
 	arrive := txDone.Add(prof.SwitchDelay + prof.PropagationDelay)
+	if !prof.Lossy && !n.batchOff && n.tr == nil && n.faults.Empty() && !lost {
+		// Fast path: with no lossy admission, no faults, and no tracer the
+		// arrival-side computation is pure arithmetic on (arrive, NIC state),
+		// so it batches — one drain event processes a whole lookahead window
+		// of arrivals instead of one scheduler event per message. Loss and
+		// reorder draws above already happened, keeping the RNG stream
+		// byte-identical with the per-message path; a message the draw
+		// declared lost still takes the exact path so its Dropped callback
+		// runs at the arrival instant.
+		n.enqueueArrival(src, pendingArrival{m: m, arrive: arrive, wire: wire,
+			jitter: jitter, control: control})
+		return
+	}
 	n.Sim.At(arrive, func() {
 		// A crash-stopped endpoint kills the message on the wire regardless of
 		// class: unlike FaultRCLoss this also swallows infrastructure
@@ -514,6 +608,156 @@ func (n *Network) Transmit(m *Message) {
 		}
 		n.Sim.At(rxDone.Add(jitter), func() { m.Deliver(n.Sim.Now()) })
 	})
+}
+
+// enqueueArrival queues a fast-path arrival on its source NIC and makes
+// sure the drain timer fires no later than the earliest pending arrival.
+// A source's bulk backlog serializes in order, so insertion lands at or
+// near the queue tail; only a control-lane message overtaking queued bulk
+// data scans deeper.
+func (n *Network) enqueueArrival(src *nic, pa pendingArrival) {
+	n.pendSeq++
+	pa.seq = n.pendSeq
+	i := len(src.pend)
+	for i > src.pendHead && src.pend[i-1].arrive > pa.arrive {
+		i--
+	}
+	src.pend = append(src.pend, pendingArrival{})
+	copy(src.pend[i+1:], src.pend[i:])
+	src.pend[i] = pa
+	n.pendCount++
+	if !n.drainArmed || pa.arrive < n.drainAt {
+		if n.drainArmed {
+			n.drain.Stop()
+		}
+		n.drainArmed = true
+		if i == src.pendHead {
+			n.drainAt = pa.arrive
+		} else {
+			n.drainAt = n.pendMin().arrive
+		}
+		n.drain = n.Sim.AfterTimer(n.drainAt.Sub(n.Sim.Now()), n.drainFire)
+	}
+}
+
+// pendMin returns the globally earliest pending arrival: the (arrive, seq)
+// minimum over the source-queue heads.
+func (n *Network) pendMin() *pendingArrival {
+	var best *pendingArrival
+	for _, nc := range n.nics {
+		if nc.pendHead == len(nc.pend) {
+			continue
+		}
+		h := &nc.pend[nc.pendHead]
+		if best == nil || h.arrive < best.arrive ||
+			(h.arrive == best.arrive && h.seq < best.seq) {
+			best = h
+		}
+	}
+	return best
+}
+
+// drainFire runs at the earliest pending arrival instant T and processes
+// every queued arrival in [T, T+lookahead) in (arrive, transmit) order —
+// the same total order the per-message path's scheduler events would have
+// used — by K-way merging the source-queue heads. The window is closed:
+// any transmit issued at or after T (including later in this same instant)
+// arrives at T+lookahead or beyond, so nothing can be missed or reordered
+// by draining it in one dispatch. Arrivals beyond the window re-arm the
+// timer for their own instant.
+func (n *Network) drainFire() {
+	n.drainArmed = false
+	limit := n.drainAt.Add(n.lookahead)
+	for {
+		best := n.pendMin()
+		if best == nil || best.arrive >= limit {
+			break
+		}
+		n.processArrival(best)
+		src := n.nics[best.m.From]
+		src.pend[src.pendHead] = pendingArrival{}
+		src.pendHead++
+		if src.pendHead == len(src.pend) {
+			src.pend = src.pend[:0]
+			src.pendHead = 0
+		}
+		n.pendCount--
+	}
+	if n.pendCount > 0 {
+		n.drainArmed = true
+		n.drainAt = n.pendMin().arrive
+		n.drain = n.Sim.AfterTimer(n.drainAt.Sub(n.Sim.Now()), n.drainFire)
+	}
+}
+
+// flushPending converts every batch-queued arrival into a per-message
+// scheduler event at its exact arrival instant, in global (arrive, seq)
+// order. SetTracer and Faults call it before changing mode, so batched and
+// per-message processing never interleave: each flushed arrival fires at
+// its own instant with the event seq order the per-message path would have
+// produced for messages already on the wire.
+func (n *Network) flushPending() {
+	if !n.drainArmed {
+		return
+	}
+	n.drain.Stop()
+	n.drainArmed = false
+	for n.pendCount > 0 {
+		pa := *n.pendMin()
+		src := n.nics[pa.m.From]
+		src.pend[src.pendHead] = pendingArrival{}
+		src.pendHead++
+		if src.pendHead == len(src.pend) {
+			src.pend = src.pend[:0]
+			src.pendHead = 0
+		}
+		n.pendCount--
+		n.Sim.At(pa.arrive, func() { n.processArrival(&pa) })
+	}
+}
+
+// processArrival is the arrival-side computation for one fast-path message:
+// the lossless, fault-free, untraced specialization of the per-message
+// arrival closure in Transmit, evaluated at pa.arrive regardless of the
+// clock's current instant (the two coincide except while draining a batch
+// window). It must mirror that closure's arithmetic exactly — the S6 table
+// regeneration test holds the two paths to byte-identical results.
+func (n *Network) processArrival(pa *pendingArrival) {
+	prof := &n.Prof
+	m := pa.m
+	dst := n.nics[m.To]
+	rnow := pa.arrive
+	bw := prof.LinkBandwidth
+	rxOcc := n.touch(dst, m.ToQP) + Serialize(pa.wire, bw)
+	if q := dst.rxBusy.Sub(rnow); q > dst.stats.RxBacklogPeak {
+		dst.stats.RxBacklogPeak = q
+	}
+	var rxDone sim.Time
+	if pa.control {
+		rxDone = rnow.Add(Serialize(prof.MTU, bw) + rxOcc)
+		dst.rxBusy = dst.rxBusy.Add(rxOcc)
+		if dst.rxBusy < rnow {
+			dst.rxBusy = rnow
+		}
+	} else {
+		rstart := rnow
+		if dst.rxBusy > rstart {
+			rstart = dst.rxBusy
+		}
+		rxDone = rstart.Add(rxOcc)
+		dst.rxBusy = rxDone
+	}
+	if m.Service == RC {
+		rxDone = orderFloor(dst.rxOrder, m.ToQP, rxDone)
+	}
+	dst.stats.RxMessages++
+	dst.stats.RxBytes += int64(m.Payload)
+	if pa.control {
+		dst.stats.RxControlBytes += int64(pa.wire)
+	} else {
+		dst.stats.RxDataBytes += int64(pa.wire)
+	}
+	n.Sim.At(rxDone.Add(pa.jitter), func() { m.Deliver(n.Sim.Now()) })
 }
 
 // TransmitMulticast sends one datagram to every node in dests with a single

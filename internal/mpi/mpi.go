@@ -223,9 +223,9 @@ func Build(p *sim.Proc, devs []*verbs.Device, cfg Config) *World {
 		ctlSlots := n * (cfg.EagerSlots + 4*cfg.RdvSlots + 16)
 		rdvSlots := n * cfg.RdvSlots
 		l.cq = dev.CreateCQ(4*(ctlSlots+rdvSlots) + 256)
-		l.eagerRecvMR = dev.RegisterMRNoCost(make([]byte, ctlSlots*l.eagerSlot))
-		l.stagingMR = dev.RegisterMRNoCost(make([]byte, rdvSlots*(hdrSize+cfg.BufSize)))
-		l.rdvRecvMR = dev.RegisterMRNoCost(make([]byte, rdvSlots*(hdrSize+cfg.BufSize)))
+		l.eagerRecvMR = dev.AllocMRNoCost(ctlSlots * l.eagerSlot)
+		l.stagingMR = dev.AllocMRNoCost(rdvSlots * (hdrSize + cfg.BufSize))
+		l.rdvRecvMR = dev.AllocMRNoCost(rdvSlots * (hdrSize + cfg.BufSize))
 		for i := 0; i < rdvSlots; i++ {
 			l.stagFree = append(l.stagFree, i*(hdrSize+cfg.BufSize))
 			l.rdvFree = append(l.rdvFree, i*(hdrSize+cfg.BufSize))

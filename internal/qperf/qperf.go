@@ -93,6 +93,7 @@ func Run(prof fabric.Profile, msgSize int, total int64) Result {
 	if err := s.Run(); err != nil {
 		panic(err)
 	}
+	s.Shutdown()
 	return res
 }
 

@@ -563,7 +563,7 @@ func newRDRCSend(dev *verbs.Device, cfg Config, n, tpe int) *rdRCSend {
 		qpDest:   make(map[uint32]int),
 	}
 	e.wcq = dev.CreateCQ(4*pool*n + 64)
-	e.mr = dev.RegisterMRNoCost(make([]byte, pool*cfg.BufSize))
+	e.mr = dev.AllocMRNoCost(pool * cfg.BufSize)
 	e.freeArrMR = dev.RegisterMRNoCost(make([]byte, 8*n*e.queueCap))
 	e.stageMR = dev.RegisterMRNoCost(make([]byte, 8*n*e.queueCap))
 	for i := 0; i < pool; i++ {
@@ -598,7 +598,7 @@ func newRDRCRecv(dev *verbs.Device, cfg Config, n, tpe, senderPool int) *rdRCRec
 	}
 	e.ocq = dev.CreateCQ(4*n*perSrc + 64)
 	e.validArrMR = dev.RegisterMRNoCost(make([]byte, 8*n*e.queueCap))
-	e.localMR = dev.RegisterMRNoCost(make([]byte, n*perSrc*cfg.BufSize))
+	e.localMR = dev.AllocMRNoCost(n * perSrc * cfg.BufSize)
 	e.stageMR = dev.RegisterMRNoCost(make([]byte, 8*n*e.queueCap))
 	for src := 0; src < n; src++ {
 		for i := 0; i < perSrc; i++ {

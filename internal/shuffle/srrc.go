@@ -485,7 +485,7 @@ func newSRRCSend(dev *verbs.Device, cfg Config, n, tpe int) *srRCSend {
 		qpDest:   make(map[uint32]int),
 	}
 	e.cq = dev.CreateCQ(2*pool*n + 64)
-	e.mr = dev.RegisterMRNoCost(make([]byte, pool*cfg.BufSize))
+	e.mr = dev.AllocMRNoCost(pool * cfg.BufSize)
 	e.creditMR = dev.RegisterMRNoCost(make([]byte, 8*n))
 	for i := 0; i < pool; i++ {
 		e.free.Put(i * cfg.BufSize)
@@ -519,7 +519,7 @@ func newSRRCRecv(dev *verbs.Device, cfg Config, n, tpe int) *srRCRecv {
 	// transmit FIFO, so size this CQ to the worst case of one write per
 	// posted receive.
 	e.wcq = dev.CreateCQ(slots + 64)
-	e.bufMR = dev.RegisterMRNoCost(make([]byte, slots*cfg.BufSize))
+	e.bufMR = dev.AllocMRNoCost(slots * cfg.BufSize)
 	e.stageMR = dev.RegisterMRNoCost(make([]byte, 8*n))
 	e.qps = make([]*verbs.QP, n)
 	for s := 0; s < n; s++ {

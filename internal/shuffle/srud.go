@@ -505,7 +505,7 @@ func newSRUDSend(dev *verbs.Device, cfg Config, n, tpe int) *srUDSend {
 	e.scq = dev.CreateCQ(pool*n + 64)
 	creditSlots := 4 * n
 	e.ccq = dev.CreateCQ(creditSlots + 16)
-	e.mr = dev.RegisterMRNoCost(make([]byte, pool*mtu))
+	e.mr = dev.AllocMRNoCost(pool * mtu)
 	e.creditMR = dev.RegisterMRNoCost(make([]byte, creditSlots*e.creditSlot))
 	for i := 0; i < pool; i++ {
 		e.free.Put(i * mtu)
@@ -546,7 +546,7 @@ func newSRUDRecv(dev *verbs.Device, cfg Config, n, tpe int) *srUDRecv {
 	e.rcq = dev.CreateCQ(slots + 64)
 	// Credit-datagram completions queue behind bulk data on the wire.
 	e.scq = dev.CreateCQ(slots + 64)
-	e.bufMR = dev.RegisterMRNoCost(make([]byte, slots*e.slotSize))
+	e.bufMR = dev.AllocMRNoCost(slots * e.slotSize)
 	e.stageMR = dev.RegisterMRNoCost(make([]byte, n*HeaderSize))
 	e.qp = dev.CreateQP(verbs.QPConfig{
 		Type: fabric.UD, SendCQ: e.scq, RecvCQ: e.rcq,

@@ -456,7 +456,7 @@ func newWRRCSend(dev *verbs.Device, cfg Config, n, tpe, grantCap int) *wrRCSend 
 		qpDest:   make(map[uint32]int),
 	}
 	e.wcq = dev.CreateCQ(4*pool*n + 64)
-	e.mr = dev.RegisterMRNoCost(make([]byte, pool*cfg.BufSize))
+	e.mr = dev.AllocMRNoCost(pool * cfg.BufSize)
 	e.slotArrMR = dev.RegisterMRNoCost(make([]byte, 8*n*grantCap))
 	e.stageMR = dev.RegisterMRNoCost(make([]byte, 8*n*grantCap))
 	for i := 0; i < pool; i++ {
@@ -487,7 +487,7 @@ func newWRRCRecv(dev *verbs.Device, cfg Config, n, tpe int) *wrRCRecv {
 		qpSrc:      make(map[uint32]int),
 	}
 	e.gcq = dev.CreateCQ(4*n*perSrc + 64)
-	e.slotMR = dev.RegisterMRNoCost(make([]byte, n*perSrc*cfg.BufSize))
+	e.slotMR = dev.AllocMRNoCost(n * perSrc * cfg.BufSize)
 	e.validArrMR = dev.RegisterMRNoCost(make([]byte, 8*n*e.queueCap))
 	e.stageMR = dev.RegisterMRNoCost(make([]byte, 8*n*e.queueCap))
 	e.qps = make([]*verbs.QP, n)

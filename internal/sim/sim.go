@@ -44,15 +44,26 @@ func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
 func (t Time) String() string { return Duration(t).String() }
 
-// event is one scheduled occurrence. Exactly one of fire and proc is set:
+// event is one scheduled occurrence. At most one of fire and proc is set:
 // fire is a general callback; proc is the direct-dispatch variant that
-// resumes a Proc without allocating a closure. Events are recycled through
-// Simulation.free, so no pointer to an event may outlive its firing.
+// resumes a Proc without allocating a closure; an event with neither is a
+// cancelled timer, which still pops (advancing the clock and the fired
+// counter exactly as the live timer would have) but does nothing. Events are
+// recycled through Simulation.free, so no pointer to an event may outlive
+// its firing — Timer handles guard against reuse with the seq stamp.
 type event struct {
 	at   Time
 	seq  uint64
+	next *event // intrusive link: wheel bucket / overflow / chain membership
 	fire func()
 	proc *Proc
+	// pgen snapshots proc.gen at schedule time: Proc records are pooled, so
+	// a dispatch event must not resume a record recycled for a new Proc.
+	pgen uint64
+	// cond/wid make a Cond timeout a closure-free event variant: at the
+	// deadline the waiter with claim ticket wid times out if still waiting.
+	cond *Cond
+	wid  uint64
 }
 
 // eventLess orders events by (time, schedule sequence): the global firing
@@ -69,27 +80,33 @@ func eventLess(a, b *event) bool {
 type Simulation struct {
 	now Time
 	seq uint64
-	// heap holds future events as a binary min-heap on (at, seq). It is a
-	// concrete *event slice with inlined sift routines rather than a
-	// container/heap adapter: the interface boxing of heap.Push/Pop costs an
-	// allocation and an indirect call per event.
-	heap []*event
-	// ring holds same-instant events (at == now, always ahead of every heap
+	// wh holds future events in a hierarchical timer wheel (see wheel.go):
+	// O(1) schedule and cancel, with the (at, seq) total order preserved
+	// structurally. chain is the bucket currently being drained — the
+	// already-detached FIFO of events at the next instant.
+	wh    timerWheel
+	chain *event
+	// ring holds same-instant events (at == now, always ahead of every wheel
 	// entry of the same instant scheduled later) in a power-of-two circular
 	// buffer: rhead is the read index, rlen the occupancy. Pushing and
-	// popping are O(1), versus O(log n) through the heap.
+	// popping are O(1).
 	ring  []*event
 	rhead int
 	rlen  int
 	// free recycles fired event records; its length is bounded by the peak
-	// number of simultaneously pending events.
-	free  []*event
-	fired uint64
-	yield chan struct{}
-	live  int
-	procs map[*Proc]struct{}
-	rng   *rand.Rand
-	maxT  Time // horizon; 0 means none
+	// number of simultaneously pending events. procFree recycles finished
+	// Proc records along with their parked goroutines.
+	free     []*event
+	procFree []*Proc
+	fired    uint64
+	yield    chan struct{}
+	live     int
+	procs    map[*Proc]struct{}
+	rng      *rand.Rand
+	maxT     Time // horizon; 0 means none
+	// dead is set by Shutdown; parked goroutines observe it on their next
+	// wake and exit instead of resuming their Proc body.
+	dead bool
 }
 
 // New returns an empty simulation whose random source is seeded with seed.
@@ -131,13 +148,16 @@ func (s *Simulation) newEvent(at Time, fn func(), p *Proc) *event {
 	}
 	s.seq++
 	e.at, e.seq, e.fire, e.proc = at, s.seq, fn, p
+	if p != nil {
+		e.pgen = p.gen
+	}
 	return e
 }
 
 // releaseEvent returns a fired event to the free list, dropping its payload
-// references so recycled records don't retain closures or Procs.
+// references so recycled records don't retain closures, Procs, or siblings.
 func (s *Simulation) releaseEvent(e *event) {
-	e.fire, e.proc = nil, nil
+	e.fire, e.proc, e.next, e.cond = nil, nil, nil, nil
 	s.free = append(s.free, e)
 }
 
@@ -170,47 +190,6 @@ func (s *Simulation) ringPop() *event {
 	return e
 }
 
-func (s *Simulation) heapPush(e *event) {
-	s.heap = append(s.heap, e)
-	h := s.heap
-	i := len(h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !eventLess(h[i], h[parent]) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-}
-
-func (s *Simulation) heapPop() *event {
-	h := s.heap
-	e := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h[n] = nil
-	s.heap = h[:n]
-	h = s.heap
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		m := l
-		if r := l + 1; r < n && eventLess(h[r], h[l]) {
-			m = r
-		}
-		if !eventLess(h[m], h[i]) {
-			break
-		}
-		h[i], h[m] = h[m], h[i]
-		i = m
-	}
-	return e
-}
-
 // At schedules fn to run at instant t (not before now). fn runs in scheduler
 // context: it may schedule events, wake Procs, and mutate simulation state,
 // but must not block.
@@ -219,11 +198,50 @@ func (s *Simulation) At(t Time, fn func()) {
 		s.ringPush(s.newEvent(s.now, fn, nil))
 		return
 	}
-	s.heapPush(s.newEvent(t, fn, nil))
+	s.wheelPush(s.newEvent(t, fn, nil))
 }
 
 // After schedules fn to run d after the current instant.
 func (s *Simulation) After(d Duration, fn func()) { s.At(s.now.Add(d), fn) }
+
+// Timer is a cancellable handle to a callback scheduled with AfterTimer.
+// The zero Timer is valid and inert.
+type Timer struct {
+	e   *event
+	seq uint64
+}
+
+// AfterTimer schedules fn like After and returns a handle that can cancel
+// it in O(1). It replaces the generation-counter idiom (keep the event,
+// have the callback check a counter and return) that cancellation-heavy
+// protocol timers — retransmission, DCQCN rate recovery — used against the
+// heap.
+func (s *Simulation) AfterTimer(d Duration, fn func()) Timer {
+	t := s.now.Add(d)
+	var e *event
+	if t <= s.now {
+		e = s.newEvent(s.now, fn, nil)
+		s.ringPush(e)
+	} else {
+		e = s.newEvent(t, fn, nil)
+		s.wheelPush(e)
+	}
+	return Timer{e: e, seq: e.seq}
+}
+
+// Stop cancels the timer's callback if it has not fired yet and reports
+// whether it did. A stopped timer still pops as a no-op at its deadline —
+// the clock, the fired count, and same-instant ordering are exactly those
+// of a live timer whose callback does nothing, so cancellation never
+// perturbs a same-seed trace. The seq stamp guards against the event
+// record having been recycled for a later schedule.
+func (t Timer) Stop() bool {
+	if t.e == nil || t.e.seq != t.seq || t.e.fire == nil {
+		return false
+	}
+	t.e.fire = nil
+	return true
+}
 
 // Proc is a simulated thread of execution. Procs are created with Spawn and
 // run as goroutines scheduled cooperatively by the Simulation. All methods
@@ -234,6 +252,16 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	done   bool
+	// fn is the body the parked goroutine runs on its next dispatch; Proc
+	// records and their goroutines are pooled across Spawns, so fn changes
+	// with each reincarnation.
+	fn func(p *Proc)
+	// gen counts reincarnations: a pending dispatch event resumes the Proc
+	// only if its snapshot matches, so an event scheduled for a finished
+	// Proc can never wake the record's next tenant. Stats (BusyTime,
+	// BlockedTime) stay readable on a retained handle until the record is
+	// reused by a later Spawn.
+	gen uint64
 	// blockedOn describes what the Proc is waiting for, for deadlock reports.
 	blockedOn string
 	// timedOut reports whether the last WaitTimeout expired.
@@ -264,20 +292,80 @@ func (p *Proc) Now() Time { return p.sim.now }
 // Spawn creates a Proc named name that will begin executing fn at the
 // current virtual instant. It may be called before Run or from inside a
 // running Proc or event callback.
+//
+// Proc records and their goroutines are pooled: a finished Proc parks its
+// goroutine and the record is recycled by a later Spawn (with a fresh
+// generation, zeroed stats, and the new body). Spawning is therefore
+// allocation-free at steady state — the dominant cost of the heap-era
+// Spawn was the goroutine start and its closure.
 func (s *Simulation) Spawn(name string, fn func(p *Proc)) *Proc {
-	p := &Proc{sim: s, name: name, resume: make(chan struct{})}
+	var p *Proc
+	if n := len(s.procFree); n > 0 {
+		p = s.procFree[n-1]
+		s.procFree[n-1] = nil
+		s.procFree = s.procFree[:n-1]
+		p.name, p.fn = name, fn
+		p.gen++
+		p.done, p.timedOut = false, false
+		p.blockedOn = ""
+		p.busy, p.blocked = 0, 0
+	} else {
+		p = &Proc{sim: s, name: name, fn: fn, resume: make(chan struct{})}
+		go procLoop(p)
+	}
 	s.live++
 	s.procs[p] = struct{}{}
-	go func() {
-		<-p.resume // wait for first dispatch
-		fn(p)
+	s.ready(p)
+	return p
+}
+
+// procLoop is the body of every pooled Proc goroutine: run one incarnation,
+// retire the record to the free list, hand control back to the scheduler,
+// and park until the record's next tenant is dispatched. The retirement
+// writes happen before the yield send, which synchronizes them with the
+// scheduler exactly as the pre-pool teardown did.
+func procLoop(p *Proc) {
+	s := p.sim
+	for {
+		<-p.resume // wait for first dispatch of this incarnation
+		if s.dead {
+			s.yield <- struct{}{}
+			return
+		}
+		if !p.runBody() {
+			s.yield <- struct{}{} // unwound by Shutdown: acknowledge and exit
+			return
+		}
+		p.fn = nil
 		p.done = true
 		delete(s.procs, p)
 		s.live--
+		s.procFree = append(s.procFree, p)
 		s.yield <- struct{}{}
+	}
+}
+
+// killProc is the panic value Shutdown uses to unwind a Proc parked inside
+// its body (block or Sleep), so the pooled goroutine can run the body's
+// deferred functions and exit.
+type killProc struct{}
+
+// runBody executes one incarnation's body, reporting false when the body
+// was unwound by Shutdown rather than returning normally. Any other panic
+// propagates.
+func (p *Proc) runBody() (completed bool) {
+	defer func() {
+		if completed {
+			return
+		}
+		if r := recover(); r != nil {
+			if _, ok := r.(killProc); !ok {
+				panic(r)
+			}
+		}
 	}()
-	s.ready(p)
-	return p
+	p.fn(p)
+	return true
 }
 
 // dispatch hands control to p and waits for it to block or finish.
@@ -298,6 +386,9 @@ func (p *Proc) block(reason string) {
 	t0 := p.sim.now
 	p.sim.yield <- struct{}{}
 	<-p.resume
+	if p.sim.dead {
+		panic(killProc{})
+	}
 	p.blocked += Duration(p.sim.now - t0)
 }
 
@@ -316,11 +407,14 @@ func (p *Proc) Sleep(d Duration) {
 	if d == 0 {
 		s.ringPush(s.newEvent(s.now, nil, p))
 	} else {
-		s.heapPush(s.newEvent(s.now.Add(d), nil, p))
+		s.wheelPush(s.newEvent(s.now.Add(d), nil, p))
 	}
 	p.blockedOn = "sleep"
 	s.yield <- struct{}{}
 	<-p.resume
+	if s.dead {
+		panic(killProc{})
+	}
 }
 
 // Yield lets all other events scheduled for the current instant run before
@@ -344,35 +438,52 @@ func (e *DeadlockError) Error() string {
 // blocked with no pending events, and nil otherwise. Run must be called from
 // the goroutine that owns the Simulation, and only once at a time.
 func (s *Simulation) Run() error {
+loop:
 	for {
 		var e *event
-		if s.rlen > 0 {
-			// The ring holds only events at the current instant; a heap entry
-			// can still precede the ring head if it was scheduled earlier for
-			// this same instant (smaller seq).
-			if len(s.heap) > 0 && eventLess(s.heap[0], s.ring[s.rhead]) {
-				e = s.heapPop()
-			} else {
-				e = s.ringPop()
-			}
-		} else if len(s.heap) > 0 {
-			if s.maxT != 0 && s.heap[0].at > s.maxT {
+		if e = s.chain; e != nil {
+			// The chain is the detached wheel bucket for the current instant.
+			// Everything in it was scheduled before the clock reached this
+			// instant, so it carries smaller seqs than any ring entry (which
+			// could only have been pushed at this instant) and drains first —
+			// the same order the heap's (at, seq) merge produced.
+			s.chain = e.next
+		} else if s.rlen > 0 {
+			e = s.ringPop()
+		} else {
+			switch s.wheelAdvance() {
+			case advFound:
+				e = s.chain
+				s.chain = e.next
+			case advHorizon:
 				s.now = s.maxT
 				return nil
+			default:
+				break loop
 			}
-			e = s.heapPop()
-		} else {
-			break
 		}
 		s.now = e.at
 		s.fired++
 		if p := e.proc; p != nil {
+			gen := e.pgen
 			s.releaseEvent(e)
-			s.dispatch(p)
-		} else {
+			if p.gen == gen {
+				s.dispatch(p)
+			}
+		} else if e.fire != nil {
 			fn := e.fire
 			s.releaseEvent(e)
 			fn()
+		} else if c := e.cond; c != nil {
+			wid := e.wid
+			s.releaseEvent(e)
+			c.timeoutFire(wid)
+		} else {
+			// A cancelled timer: pops as a no-op so the clock, fired count,
+			// and same-instant ordering stay exactly as if it had fired a
+			// do-nothing callback (what cancellation-by-generation-counter
+			// used to cost).
+			s.releaseEvent(e)
 		}
 	}
 	if s.live > 0 {
@@ -384,6 +495,46 @@ func (s *Simulation) Run() error {
 		return de
 	}
 	return nil
+}
+
+// Shutdown terminates every goroutine the simulation owns. Each Proc is
+// driven by a parked goroutine (pooled across Spawns), so a discarded
+// Simulation otherwise retains all of them — and everything their stacks
+// and records reference, wheel and rings included — until process exit.
+// Sweeps that build thousands of short-lived simulations then pay an
+// ever-growing GC mark and stack-scan bill: goroutine counts climb by the
+// cluster's proc population per run and wall-clock per simulation drifts
+// upward. Shutdown wakes each parked goroutine with the dead flag set;
+// idle pooled goroutines exit immediately, and Procs still blocked
+// mid-simulation unwind via a panic that runs their deferred functions
+// (body defers must not block: Signal/Unlock are fine, Wait/Sleep are
+// not). Call it once the simulation is finished — Cluster.Recycle does —
+// after which the Simulation must not schedule or run anything further.
+// Idempotent. Reading Now, Events, or Proc stats remains safe.
+func (s *Simulation) Shutdown() {
+	if s.dead {
+		return
+	}
+	s.dead = true
+	// Re-fetch from the map each round: a body's deferred functions may in
+	// principle retire other state, and the kill path leaves its own entry
+	// for us to delete.
+	for len(s.procs) > 0 {
+		var p *Proc
+		for q := range s.procs {
+			p = q
+			break
+		}
+		delete(s.procs, p)
+		s.live--
+		p.resume <- struct{}{}
+		<-s.yield
+	}
+	for _, p := range s.procFree {
+		p.resume <- struct{}{}
+		<-s.yield
+	}
+	s.procFree = nil
 }
 
 // RunFor runs until the event queue drains or until d of virtual time has

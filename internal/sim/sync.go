@@ -5,17 +5,24 @@ package sim
 // usual lost-wakeup race cannot occur as long as callers re-check their
 // predicate in a loop around Wait.
 type Cond struct {
-	sim     *Simulation
-	name    string
-	waiters []*condWaiter
+	sim  *Simulation
+	name string
+	// waiters[qhead:] are the live and already-claimed waiters in arrival
+	// order, held by value: steady-state Wait/Signal cycles touch only the
+	// slice's reclaimed backing array and never allocate. A claimed entry
+	// (woken or timed out) has id 0 and is skipped when popped.
+	waiters []condWaiter
+	qhead   int
+	// nextID issues claim tickets for timeout events; 0 is never issued.
+	nextID uint64
 	// reason and reasonT are the precomputed blocked-on labels ("cond x",
 	// "cond(timeout) x") so Wait does not concatenate strings per block.
 	reason, reasonT string
 }
 
 type condWaiter struct {
-	p     *Proc
-	woken bool // set when a Signal/Broadcast or timeout has claimed this waiter
+	p  *Proc
+	id uint64 // claim ticket; 0 once a Signal/Broadcast or timeout claims it
 }
 
 // NewCond returns a condition variable with a diagnostic name used in
@@ -24,52 +31,77 @@ func (s *Simulation) NewCond(name string) *Cond {
 	return &Cond{sim: s, name: name, reason: "cond " + name, reasonT: "cond(timeout) " + name}
 }
 
+// push appends a live waiter and returns its claim ticket.
+func (c *Cond) push(p *Proc) uint64 {
+	c.nextID++
+	c.waiters = append(c.waiters, condWaiter{p: p, id: c.nextID})
+	return c.nextID
+}
+
 // Wait suspends p until Signal or Broadcast wakes it. Callers must re-check
 // their predicate after Wait returns.
 func (c *Cond) Wait(p *Proc) {
-	w := &condWaiter{p: p}
-	c.waiters = append(c.waiters, w)
+	c.push(p)
 	p.timedOut = false
 	p.block(c.reason)
 }
 
 // WaitTimeout is Wait with a virtual-time timeout. It returns false if the
-// wait timed out before a Signal/Broadcast reached this waiter.
+// wait timed out before a Signal/Broadcast reached this waiter. The
+// deadline is a closure-free tagged event carrying the claim ticket; if the
+// waiter was claimed first the event pops as a no-op.
 func (c *Cond) WaitTimeout(p *Proc, d Duration) bool {
-	w := &condWaiter{p: p}
-	c.waiters = append(c.waiters, w)
+	id := c.push(p)
 	p.timedOut = false
-	c.sim.After(d, func() {
-		if w.woken {
-			return
-		}
-		w.woken = true
-		c.remove(w)
-		p.timedOut = true
-		c.sim.ready(p)
-	})
+	s := c.sim
+	t := s.now.Add(d)
+	var e *event
+	if t <= s.now {
+		e = s.newEvent(s.now, nil, nil)
+		e.cond, e.wid = c, id
+		s.ringPush(e)
+	} else {
+		e = s.newEvent(t, nil, nil)
+		e.cond, e.wid = c, id
+		s.wheelPush(e)
+	}
 	p.block(c.reasonT)
 	return !p.timedOut
 }
 
-func (c *Cond) remove(w *condWaiter) {
-	for i, x := range c.waiters {
-		if x == w {
-			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+// timeoutFire expires the waiter holding ticket id, if it is still waiting.
+func (c *Cond) timeoutFire(id uint64) {
+	for i := c.qhead; i < len(c.waiters); i++ {
+		if w := &c.waiters[i]; w.id == id {
+			p := w.p
+			w.p, w.id = nil, 0
+			p.timedOut = true
+			c.sim.ready(p)
 			return
 		}
 	}
 }
 
+// pop removes and returns the head entry, reclaiming the drained prefix
+// when the queue empties so steady-state signalling never reallocates.
+func (c *Cond) pop() condWaiter {
+	w := c.waiters[c.qhead]
+	c.waiters[c.qhead] = condWaiter{}
+	c.qhead++
+	if c.qhead == len(c.waiters) {
+		c.waiters = c.waiters[:0]
+		c.qhead = 0
+	}
+	return w
+}
+
 // Signal wakes the longest-waiting waiter, if any.
 func (c *Cond) Signal() {
-	for len(c.waiters) > 0 {
-		w := c.waiters[0]
-		c.waiters = c.waiters[1:]
-		if w.woken {
-			continue
+	for c.qhead < len(c.waiters) {
+		w := c.pop()
+		if w.id == 0 {
+			continue // already claimed by a timeout
 		}
-		w.woken = true
 		c.sim.ready(w.p)
 		return
 	}
@@ -77,14 +109,10 @@ func (c *Cond) Signal() {
 
 // Broadcast wakes every current waiter in FIFO order.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, w := range ws {
-		if w.woken {
-			continue
+	for c.qhead < len(c.waiters) {
+		if w := c.pop(); w.id != 0 {
+			c.sim.ready(w.p)
 		}
-		w.woken = true
-		c.sim.ready(w.p)
 	}
 }
 

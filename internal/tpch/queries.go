@@ -209,6 +209,7 @@ func RunQ4(c *cluster.Cluster, db *DB, f cluster.ProviderFactory, local bool) *Q
 	if err := c.Sim.Run(); err != nil && res.Err == nil {
 		res.Err = err
 	}
+	c.Recycle()
 	return res
 }
 
@@ -305,6 +306,7 @@ func RunQ3(c *cluster.Cluster, db *DB, f cluster.ProviderFactory) *QueryResult {
 	if err := c.Sim.Run(); err != nil && res.Err == nil {
 		res.Err = err
 	}
+	c.Recycle()
 	return res
 }
 
@@ -399,6 +401,7 @@ func RunQ10(c *cluster.Cluster, db *DB, f cluster.ProviderFactory) *QueryResult 
 	if err := c.Sim.Run(); err != nil && res.Err == nil {
 		res.Err = err
 	}
+	c.Recycle()
 	return res
 }
 

@@ -21,8 +21,10 @@ type dcqcn struct {
 	rate, target float64
 	// alpha is the EWMA congestion estimate in [0,1].
 	alpha float64
-	// timerArmed guards the single recovery timer per limiter.
+	// timerArmed guards the single recovery timer per limiter; timer is its
+	// cancellable wheel handle.
 	timerArmed bool
+	timer      sim.Timer
 }
 
 // installECN wires the fabric's ECN-mark notifications to CNP generation at
@@ -93,7 +95,7 @@ func (d *Device) armRateTimer(qpn uint32, rl *dcqcn) {
 		return
 	}
 	rl.timerArmed = true
-	d.net.Sim.After(d.prof().DCQCNRecoveryPeriod, func() { d.rateTick(qpn, rl) })
+	rl.timer = d.net.Sim.AfterTimer(d.prof().DCQCNRecoveryPeriod, func() { d.rateTick(qpn, rl) })
 }
 
 // rateTick is one recovery period: decay alpha, raise the target additively,
@@ -102,6 +104,7 @@ func (d *Device) armRateTimer(qpn uint32, rl *dcqcn) {
 // zero-bookkeeping fast path.
 func (d *Device) rateTick(qpn uint32, rl *dcqcn) {
 	rl.timerArmed = false
+	rl.timer = sim.Timer{}
 	if d.rl[qpn] != rl {
 		return // limiter was retired or replaced while the timer was pending
 	}

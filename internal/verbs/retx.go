@@ -2,6 +2,7 @@ package verbs
 
 import (
 	"rshuffle/internal/fabric"
+	"rshuffle/internal/sim"
 	"rshuffle/internal/telemetry"
 )
 
@@ -13,8 +14,8 @@ import (
 // (see QP.sendPaced) and ship with the replay, so a loss stalls the whole
 // pipeline for one ACK timeout — the dominant cost of running RoCE on a
 // lossy fabric. The timer is cancellable: teardown paths (QP error,
-// peer-down, Destroy) bump a generation counter so a pending timer can never
-// fire into a dead QP.
+// peer-down, Destroy) stop the wheel timer in O(1) so a pending timer can
+// never fire into a dead QP.
 
 // retxState is one QP's retransmission engine.
 type retxState struct {
@@ -23,8 +24,9 @@ type retxState struct {
 	queue []*fabric.Message
 	// armed guards the single pending timer.
 	armed bool
-	// gen invalidates pending timers when bumped (cancelRetx).
-	gen uint64
+	// timer is the pending wheel timer handle (sim.Timer), cancelled by
+	// cancelRetx.
+	timer sim.Timer
 }
 
 // armRetry installs the transport-loss handler on an RC message: when the
@@ -60,16 +62,16 @@ func (qp *QP) armRetxTimer() {
 		return
 	}
 	qp.retx.armed = true
-	gen := qp.retx.gen
-	qp.dev.net.Sim.After(qp.dev.prof().TransportRetryDelay, func() { qp.retxFire(gen) })
+	qp.retx.timer = qp.dev.net.Sim.AfterTimer(qp.dev.prof().TransportRetryDelay, qp.retxFire)
 }
 
 // retxFire replays the lost window in queue order (go-back-N). Replays go
 // through the DCQCN pacer, so a congestion-cut QP retransmits at its cut
-// rate instead of re-melting the switch. A stale generation means the QP was
-// torn down while the timer was pending: do nothing.
-func (qp *QP) retxFire(gen uint64) {
-	if gen != qp.retx.gen || qp.destroyed || qp.state == QPError {
+// rate instead of re-melting the switch. Teardown while the timer was
+// pending stops it on the wheel, so a cancelled timer never gets here; the
+// state checks are a second line of defense.
+func (qp *QP) retxFire() {
+	if !qp.retx.armed || qp.destroyed || qp.state == QPError {
 		return
 	}
 	qp.retx.armed = false
@@ -80,12 +82,13 @@ func (qp *QP) retxFire(gen uint64) {
 	}
 }
 
-// cancelRetx invalidates any pending retransmission timer and discards the
-// unreplayed window. Every QP teardown path calls it, so a timer armed
-// before a peer-down event can never transmit into the torn-down QP; the
-// windowed WRs themselves are flushed by the error path.
+// cancelRetx stops any pending retransmission timer on the wheel and
+// discards the unreplayed window. Every QP teardown path calls it, so a
+// timer armed before a peer-down event can never transmit into the
+// torn-down QP; the windowed WRs themselves are flushed by the error path.
 func (qp *QP) cancelRetx() {
-	qp.retx.gen++
+	qp.retx.timer.Stop()
+	qp.retx.timer = sim.Timer{}
 	qp.retx.armed = false
 	qp.retx.queue = nil
 }

@@ -219,6 +219,9 @@ type MR struct {
 	Buf  []byte
 	LKey uint32
 	RKey uint32
+	// pooled marks regions drawn from the registered-buffer pool
+	// (AllocMRNoCost); Deregister and RecycleMRs return them to it.
+	pooled bool
 }
 
 // RegisterMR pins and registers buf, charging p the registration cost.
@@ -245,6 +248,11 @@ func (m *MR) Deregister(p *sim.Proc) {
 	p.Sleep(m.dev.prof().MemDeregBase)
 	delete(m.dev.mrs, m.RKey)
 	m.dev.registered -= int64(len(m.Buf))
+	if m.pooled {
+		m.pooled = false
+		putBuf(m.Buf)
+		m.Buf = nil
+	}
 }
 
 // RegisteredBytes returns the bytes currently registered on this device.

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-full vet race fmt trace trace-rocev2 lossy-smoke bench bench-smoke bench-gate profile
+.PHONY: build test test-full vet race fmt trace trace-rocev2 lossy-smoke partition-smoke fuzz-smoke bench bench-smoke bench-gate profile
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,21 @@ lossy-smoke:
 	out=$$($$tmp/shufflebench -chaos -profile rocev2) && \
 	echo "$$out" && \
 	! echo "$$out" | grep -q exhausted
+
+# Race-enabled transient-fault smoke: one mid-stream reboot and one
+# asymmetric partition against MEMQ/SR, through detection, epoch fencing,
+# and partial restart. The partition cell must re-stream strictly fewer
+# partitions than a full restart would.
+partition-smoke:
+	$(GO) test -race -run '^TestPartitionSmoke$$' -v ./internal/cluster/
+
+# Short fuzz smoke for the two fuzz targets (checked-in corpus plus a few
+# seconds of fresh coverage each). Go runs one -fuzz target per invocation,
+# so the packages are fuzzed back to back.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzFaultPlanValidation$$' -fuzztime $(FUZZTIME) ./internal/fabric/
+	$(GO) test -run '^$$' -fuzz '^FuzzTimerWheel$$' -fuzztime $(FUZZTIME) ./internal/sim/
 
 # Wall-clock benchmarks: kernel micro (events/sec, ns/dispatch, allocs/event)
 # plus whole-query macro, exported as BENCH_sim.json for regression tracking.

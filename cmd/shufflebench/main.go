@@ -340,10 +340,11 @@ func runChaosMatrix(w io.Writer, prof fabric.Profile, seed int64) error {
 		},
 	}
 	faults := append(cluster.ChaosFaults(), cluster.ChaosCrashFaults()...)
+	faults = append(faults, cluster.ChaosTransientFaults()...)
 	fmt.Fprintf(w, "chaos matrix: %s, %d nodes, %d rows/node, seed %d (restarts<=%d)\n\n",
 		prof.Name, opts.Nodes, opts.RowsPerNode, seed, opts.Policy.MaxRestarts)
-	fmt.Fprintf(w, "%-9s %-13s %-9s %8s %7s %8s %5s %10s  %s\n",
-		"alg", "fault", "outcome", "restarts", "members", "rows", "det", "maxdetect", "error")
+	fmt.Fprintf(w, "%-9s %-21s %-9s %8s %7s %8s %5s %10s %9s  %s\n",
+		"alg", "fault", "outcome", "restarts", "members", "rows", "det", "maxdetect", "restream", "error")
 	for _, alg := range shuffle.Algorithms {
 		for _, f := range faults {
 			o, err := cluster.RunChaos(alg, f, opts)
@@ -358,12 +359,18 @@ func runChaosMatrix(w io.Writer, prof fabric.Profile, seed int64) error {
 			if o.MaxDetect > 0 {
 				maxDet = o.MaxDetect.String()
 			}
+			// restream reports the partial-restart economy: partitions
+			// re-streamed over the total a full restart would move.
+			restream := "-"
+			if all := o.PartitionsKept + o.PartitionsRestreamed; all > 0 {
+				restream = fmt.Sprintf("%d/%d", o.PartitionsRestreamed, all)
+			}
 			errText := ""
 			if o.Failed {
 				errText = o.Err
 			}
-			fmt.Fprintf(w, "%-9s %-13s %-9s %8d %7d %8d %5d %10s  %s\n",
-				alg.Name, f.Name, outcome, o.Restarts, o.Members, o.Rows, o.Detections, maxDet, errText)
+			fmt.Fprintf(w, "%-9s %-21s %-9s %8d %7d %8d %5d %10s %9s  %s\n",
+				alg.Name, f.Name, outcome, o.Restarts, o.Members, o.Rows, o.Detections, maxDet, restream, errText)
 		}
 	}
 	return nil

@@ -144,6 +144,87 @@ func ChaosCrashFaults() []ChaosFault {
 	}
 }
 
+// ChaosTransientFaults returns the transient-failure scenarios: bounded
+// reboot windows (the port goes dark and comes back with its memory wiped)
+// and network partitions with a heal deadline. All are crash-aware — the
+// heartbeat detector is armed — because telling a transient outage apart
+// from a crash-stop is exactly the detector's job: a reboot or an
+// asymmetric cut must end in suspicion and a partial restart, while only
+// the symmetric minority cut that outlives the attempt is convicted and
+// excluded like a crash.
+func ChaosTransientFaults() []ChaosFault {
+	return []ChaosFault{
+		// Node 1's port is dark from boot until 600us in: connection setup
+		// and any early traffic ride through NIC retransmission, and once the
+		// detector observes the down->up transition it bumps node 1's boot
+		// epoch, fencing every Queue Pair connected before the reboot.
+		{Name: "reboot-setup", Crash: true, Install: func(c *Cluster, attempt int) {
+			if attempt > 0 {
+				return
+			}
+			c.Net.Faults().Add(fabric.FaultRule{
+				Class: fabric.FaultReboot, To: 1,
+				End: sim.Time(600 * time.Microsecond),
+			})
+		}},
+		// Node 1 reboots mid-stream: in-flight traffic both ways is lost for
+		// 800us, its received partial partitions are wiped (epoch bump), and
+		// the restart may keep only partitions held by the other nodes.
+		{Name: "reboot-stream", Crash: true, Install: func(c *Cluster, attempt int) {
+			if attempt > 0 {
+				return
+			}
+			c.AtBenchStart(func() {
+				start := c.Sim.Now().Add(40 * time.Microsecond)
+				c.Net.Faults().Add(fabric.FaultRule{
+					Class: fabric.FaultReboot, To: 1,
+					Start: start, End: start.Add(800 * time.Microsecond),
+				})
+			})
+		}},
+		// Symmetric minority partition that outlives the attempt: node 1 is
+		// unreachable in both directions, so no witness can veto and the
+		// majority convicts it — the restart re-plans over the survivors,
+		// exactly as if it had crashed.
+		{Name: "partition-minority", Crash: true, Install: func(c *Cluster, attempt int) {
+			if attempt > 0 {
+				return
+			}
+			c.AtBenchStart(func() {
+				rest := make([]int, 0, c.N-1)
+				for a := 0; a < c.N; a++ {
+					if a != 1 {
+						rest = append(rest, a)
+					}
+				}
+				start := c.Sim.Now().Add(40 * time.Microsecond)
+				c.Net.Faults().Add(fabric.FaultRule{
+					Class: fabric.FaultPartition, GroupA: []int{1}, GroupB: rest,
+					Start: start, End: start.Add(80 * time.Millisecond),
+				})
+			})
+		}},
+		// Asymmetric cut of the single link direction 1->0, healing within
+		// the attempt: only node 0 suspects node 1, so there is no majority
+		// and no conviction — the membership survives intact and the restart
+		// is partial, re-streaming strictly fewer partitions than a full
+		// restart because the unaffected streams completed before the
+		// failure was declared.
+		{Name: "partition-asymmetric", Crash: true, Install: func(c *Cluster, attempt int) {
+			if attempt > 0 {
+				return
+			}
+			c.AtBenchStart(func() {
+				start := c.Sim.Now().Add(40 * time.Microsecond)
+				c.Net.Faults().Add(fabric.FaultRule{
+					Class: fabric.FaultPartition, GroupA: []int{1}, GroupB: []int{0},
+					Asym: true, Start: start, End: start.Add(8 * time.Millisecond),
+				})
+			})
+		}},
+	}
+}
+
 // ChaosOpts configures one chaos run.
 type ChaosOpts struct {
 	Prof           fabric.Profile
@@ -180,6 +261,12 @@ type ChaosOutcome struct {
 	// zero for non-crash scenarios.
 	Detections int
 	MaxDetect  sim.Duration
+	// PartitionsKept and PartitionsRestreamed count the (source,
+	// destination) partitions restart attempts skipped versus streamed
+	// again. A full restart re-streams Members*Members partitions per
+	// attempt; a partial restart keeps the ones whose end-of-stream marker
+	// was already delivered.
+	PartitionsKept, PartitionsRestreamed int
 }
 
 // RunChaos runs one algorithm under one fault scenario with the given
@@ -218,6 +305,8 @@ func RunChaos(alg shuffle.Algorithm, fault ChaosFault, o ChaosOpts) (ChaosOutcom
 	out.TotalVirtual = r.TotalVirtual
 	out.Detections = r.Detections
 	out.MaxDetect = r.MaxDetect
+	out.PartitionsKept = r.PartitionsKept
+	out.PartitionsRestreamed = r.PartitionsRestreamed
 	if n := len(r.Attempts); n > 0 && r.Attempts[n-1].Membership != nil {
 		out.Members = len(r.Attempts[n-1].Membership)
 	}

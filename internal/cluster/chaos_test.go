@@ -123,6 +123,161 @@ func TestChaosCrashMatrix(t *testing.T) {
 	}
 }
 
+// TestChaosTransientMatrix runs every Table 1 algorithm under every
+// transient-fault scenario (bounded reboots, healing partitions) twice with
+// the same seed. Every cell must (a) never fail the simulation, (b) end in
+// success within the restart budget with exact cluster-wide row totals —
+// partial restarts fold the kept partitions back in, so the delivered rows
+// are identical to a fault-free run — and (c) be bitwise deterministic.
+// Scenario-specific clauses pin the membership semantics: an asymmetric cut
+// or a bounded reboot never shrinks the membership, while the symmetric
+// minority cut is convicted and excluded like a crash.
+func TestChaosTransientMatrix(t *testing.T) {
+	opts := chaosOpts()
+	opts.Detector = DetectorConfig{Period: 500 * time.Microsecond, Suspect: 3}
+	fullRows := int64(opts.Nodes) * int64(opts.RowsPerNode)
+	for _, alg := range shuffle.Algorithms {
+		for _, f := range ChaosTransientFaults() {
+			alg, f := alg, f
+			t.Run(alg.Name+"/"+f.Name, func(t *testing.T) {
+				o1, err := RunChaos(alg, f, opts)
+				if err != nil {
+					t.Fatalf("simulation failed: %v", err)
+				}
+				o2, err := RunChaos(alg, f, opts)
+				if err != nil {
+					t.Fatalf("simulation failed on repeat: %v", err)
+				}
+				if o1 != o2 {
+					t.Fatalf("nondeterministic outcome:\n  %+v\n  %+v", o1, o2)
+				}
+				if o1.Failed {
+					t.Fatalf("recovery did not converge: %s", o1.Err)
+				}
+				// Every restart accounts for all Members^2 partitions, either
+				// kept or re-streamed.
+				if all := o1.Members * o1.Members * o1.Restarts; o1.PartitionsKept+o1.PartitionsRestreamed != all {
+					t.Fatalf("kept %d + restreamed %d != %d partitions over %d restart(s)",
+						o1.PartitionsKept, o1.PartitionsRestreamed, all, o1.Restarts)
+				}
+				switch f.Name {
+				case "partition-minority":
+					// Unreachable from every majority node in both directions:
+					// no witness can veto, so the conviction stands and the
+					// restart re-plans over the survivors.
+					survivors := opts.Nodes - 1
+					if o1.Members != survivors || o1.Restarts == 0 {
+						t.Fatalf("minority cut must shrink to %d survivors via a restart: %+v", survivors, o1)
+					}
+					if want := int64(survivors) * int64(opts.RowsPerNode); o1.Rows != want {
+						t.Fatalf("rows = %d, want %d on the survivors", o1.Rows, want)
+					}
+					if o1.Detections == 0 {
+						t.Fatalf("partition went unsuspected: %+v", o1)
+					}
+				case "partition-asymmetric":
+					// One-way cut: a single suspect is not a majority, so the
+					// membership survives intact and the restart is partial —
+					// strictly fewer partitions re-streamed than a full
+					// restart of the same attempts.
+					if o1.Members != opts.Nodes || o1.Restarts == 0 {
+						t.Fatalf("asymmetric cut must restart on full membership: %+v", o1)
+					}
+					if o1.Rows != fullRows {
+						t.Fatalf("rows = %d, want %d", o1.Rows, fullRows)
+					}
+					if o1.PartitionsKept == 0 {
+						t.Fatalf("asymmetric cut must allow a partial restart: %+v", o1)
+					}
+					if full := o1.Members * o1.Members * o1.Restarts; o1.PartitionsRestreamed >= full {
+						t.Fatalf("partial restart re-streamed %d of %d partitions: %+v",
+							o1.PartitionsRestreamed, full, o1)
+					}
+					if o1.Detections == 0 {
+						t.Fatalf("cut went unsuspected: %+v", o1)
+					}
+				default: // reboot-setup, reboot-stream
+					// A bounded reboot is never a conviction: the membership
+					// stays whole whether the NIC-level recovery absorbs the
+					// window or epoch fencing forces a restart.
+					if o1.Members != opts.Nodes {
+						t.Fatalf("reboot shrank the membership: %+v", o1)
+					}
+					if o1.Rows != fullRows {
+						t.Fatalf("rows = %d, want %d", o1.Rows, fullRows)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestChaosRebootForcesRestart pins that the reboot scenarios do exercise
+// the failure path: across Table 1, at least one algorithm is forced to
+// restart by a setup-window reboot and at least one by a mid-stream reboot
+// (which algorithm absorbs which window is a deterministic function of its
+// setup time). Recovery must stay bounded either way.
+func TestChaosRebootForcesRestart(t *testing.T) {
+	opts := chaosOpts()
+	opts.Detector = DetectorConfig{Period: 500 * time.Microsecond, Suspect: 3}
+	restarted := map[string]bool{}
+	for _, alg := range shuffle.Algorithms {
+		for _, f := range ChaosTransientFaults()[:2] {
+			o, err := RunChaos(alg, f, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: simulation failed: %v", alg.Name, f.Name, err)
+			}
+			if o.Failed {
+				t.Fatalf("%s/%s: recovery did not converge: %s", alg.Name, f.Name, o.Err)
+			}
+			if o.Restarts > 0 {
+				restarted[f.Name] = true
+			}
+		}
+	}
+	for _, name := range []string{"reboot-setup", "reboot-stream"} {
+		if !restarted[name] {
+			t.Errorf("no algorithm restarted under %s; the scenario exercises nothing", name)
+		}
+	}
+}
+
+// TestPartitionSmoke is the race-enabled CI smoke cell (make
+// partition-smoke): one mid-stream reboot and one asymmetric partition of
+// the baseline algorithm, asserting graceful bounded recovery and — for the
+// partition — a partial restart that re-streams strictly fewer partitions
+// than a full restart would.
+func TestPartitionSmoke(t *testing.T) {
+	opts := chaosOpts()
+	opts.Detector = DetectorConfig{Period: 500 * time.Microsecond, Suspect: 3}
+	fullRows := int64(opts.Nodes) * int64(opts.RowsPerNode)
+	alg := shuffle.Algorithms[0] // MEMQ/SR
+	faults := ChaosTransientFaults()
+	reboot, asym := faults[1], faults[3]
+
+	o, err := RunChaos(alg, reboot, opts)
+	if err != nil {
+		t.Fatalf("reboot cell: simulation failed: %v", err)
+	}
+	if o.Failed || o.Rows != fullRows || o.Members != opts.Nodes {
+		t.Fatalf("reboot cell did not recover gracefully: %+v", o)
+	}
+
+	o, err = RunChaos(alg, asym, opts)
+	if err != nil {
+		t.Fatalf("partition cell: simulation failed: %v", err)
+	}
+	if o.Failed || o.Rows != fullRows || o.Members != opts.Nodes {
+		t.Fatalf("partition cell did not recover gracefully: %+v", o)
+	}
+	if o.Restarts == 0 || o.PartitionsKept == 0 {
+		t.Fatalf("partition cell must recover via a partial restart: %+v", o)
+	}
+	if full := o.Members * o.Members * o.Restarts; o.PartitionsRestreamed >= full {
+		t.Fatalf("partial restart re-streamed %d of %d partitions: %+v", o.PartitionsRestreamed, full, o)
+	}
+}
+
 // TestChaosCrashExhaustsDiagnosably disallows restarts entirely: the crash
 // attempt's error must surface as a diagnosable ErrPeerFailed chain naming
 // the dead node, wrapped in ErrRecoveryExhausted — never a bare stall.

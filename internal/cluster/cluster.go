@@ -188,6 +188,20 @@ type BenchOpts struct {
 	ZipfExponent float64
 	// ZeroCopy enables the shuffle operator's zero-copy send path.
 	ZeroCopy bool
+	// SkipTo[src][dst] marks partitions already complete from a previous
+	// attempt: sender src suppresses the groups that lie entirely within its
+	// skip row (partial restart). End-of-stream still propagates on skipped
+	// streams, so their receivers observe a clean zero-row stream. Rows may
+	// be nil or short; missing entries mean nothing is skipped.
+	SkipTo [][]bool
+}
+
+// skipFor returns sender src's skip row, or nil when none is configured.
+func (o BenchOpts) skipFor(src int) []bool {
+	if src < len(o.SkipTo) {
+		return o.SkipTo[src]
+	}
+	return nil
 }
 
 // BenchResult reports one receive-throughput run.
@@ -216,6 +230,14 @@ type BenchResult struct {
 	// conflate bootstrap traffic with the query itself. Backlog peaks in
 	// StreamNIC are run-wide maxima (see NICStats.Sub).
 	SetupNIC, StreamNIC []fabric.NICStats
+	// Progress is each node's per-source partition watermark at the end of
+	// the run (Progress[dst][src]); partial-restart recovery consults it to
+	// decide which partitions a failed attempt completed.
+	Progress [][]shuffle.PartitionProgress
+	// Epochs records each node's device boot epoch at the end of the run. An
+	// epoch above its starting value means the node rebooted mid-run: its
+	// memory was wiped, so any partitions it held have regressed.
+	Epochs []uint64
 	// Err is the first transport error; non-nil means the run must restart.
 	Err error
 }
@@ -314,7 +336,7 @@ func (c *Cluster) RunBench(opts BenchOpts) (*BenchResult, error) {
 			sends[a] = &shuffle.Shuffle{
 				In:   &engine.Scan{T: tables[a], Passes: opts.Passes},
 				Comm: prov, Node: a, G: groups, Key: shuffle.KeyInt64Col(0),
-				ZeroCopy: opts.ZeroCopy,
+				ZeroCopy: opts.ZeroCopy, SkipTo: opts.skipFor(a),
 			}
 			sendSink := &engine.Sink{In: sends[a]}
 			sendSinks[a] = sendSink
@@ -368,9 +390,13 @@ func (c *Cluster) RunBench(opts BenchOpts) (*BenchResult, error) {
 			if rb+rw > 0 {
 				res.RecvBusyFrac = rb.Seconds() / (rb + rw).Seconds()
 			}
+			res.Progress = make([][]shuffle.PartitionProgress, c.N)
+			res.Epochs = make([]uint64, c.N)
 			for a := 0; a < c.N; a++ {
 				res.BytesPerNode[a] = recvs[a].Bytes
 				res.RowsPerNode[a] = recvs[a].Rows
+				res.Progress[a] = recvs[a].Progress(c.N)
+				res.Epochs[a] = c.Devs[a].Epoch()
 				if err := shuffle.CheckErr(sends[a], recvs[a]); err != nil && res.Err == nil {
 					res.Err = err
 				}

@@ -56,14 +56,26 @@ type Detector struct {
 	c   *Cluster
 
 	// lastHeard[i][j] is the last tick at which node i heard node j's
-	// heartbeat; suspected[i][j] latches i's suspicion of j.
+	// heartbeat; suspected[i][j] is i's current suspicion of j. Suspicion is
+	// not terminal: hearing a suspected peer again clears it (the partition
+	// healed or the node rebooted) and advances i's view epoch.
 	lastHeard [][]sim.Time
 	suspected [][]bool
-	stopped   bool
+	// viewEpoch[i] counts membership-view changes at node i; every suspicion
+	// set or clear advances it, so two views with equal epochs are identical.
+	viewEpoch []uint64
+	// prevDown[j] remembers whether j's port was dark at the previous tick;
+	// the first tick after a reboot window closes bumps j's device boot
+	// epoch, modeling the memory wipe that fences pre-reboot writers.
+	prevDown []bool
+	// lastTick is the virtual time of the most recent heartbeat round; Dead
+	// uses it to judge witness freshness.
+	lastTick sim.Time
+	stopped  bool
 
 	// Detections counts suspicion events across all node pairs.
 	Detections int
-	// MaxDetectionLatency is the worst gap between a node's actual crash
+	// MaxDetectionLatency is the worst gap between a node's actual outage
 	// time and a survivor suspecting it.
 	MaxDetectionLatency sim.Duration
 }
@@ -77,6 +89,8 @@ func (c *Cluster) InstallDetector(cfg DetectorConfig) *Detector {
 	d := &Detector{cfg: cfg, c: c}
 	d.lastHeard = make([][]sim.Time, c.N)
 	d.suspected = make([][]bool, c.N)
+	d.viewEpoch = make([]uint64, c.N)
+	d.prevDown = make([]bool, c.N)
 	for i := 0; i < c.N; i++ {
 		d.lastHeard[i] = make([]sim.Time, c.N)
 		d.suspected[i] = make([]bool, c.N)
@@ -103,9 +117,11 @@ func (d *Detector) schedule() {
 }
 
 // step evaluates one heartbeat round: every pair exchanges a heartbeat
-// unless the fault plan has crashed the sender (at send time) or the
-// listener (now), then silent pairs past the suspicion threshold are
-// declared down.
+// unless the fault plan has silenced the sender's port (at send time), the
+// listener's port (now), or cut the sender→listener link (a partition).
+// Silent pairs past the suspicion threshold are suspected; hearing a
+// suspected peer again clears the suspicion — a partition produces
+// suspicion, not a permanent death verdict.
 func (d *Detector) step() {
 	now := d.c.Sim.Now()
 	net := d.c.Net
@@ -116,38 +132,62 @@ func (d *Detector) step() {
 		sent = 0
 	}
 	threshold := sim.Duration(d.cfg.Suspect) * d.cfg.Period
+	// A reboot window that closed since the previous tick advances the
+	// node's boot epoch: its memory came back empty, and the epoch fence
+	// keeps pre-reboot Queue Pairs out of it.
+	for j := 0; j < d.c.N; j++ {
+		down := net.Down(j, now)
+		if d.prevDown[j] && !down {
+			d.c.Devs[j].BumpEpoch()
+		}
+		d.prevDown[j] = down
+	}
 	for i := 0; i < d.c.N; i++ {
-		listening := !net.Crashed(i, now)
+		listening := !net.Down(i, now)
 		for j := 0; j < d.c.N; j++ {
 			if i == j {
 				continue
 			}
-			if listening && !net.Crashed(j, sent) {
+			if listening && !net.Down(j, sent) && !net.Cut(j, i, now) {
 				d.lastHeard[i][j] = now
+				if d.suspected[i][j] {
+					// The peer is back (heal or reboot): clear the suspicion,
+					// advance the view, and let the connection manager re-arm.
+					d.suspected[i][j] = false
+					d.viewEpoch[i]++
+					d.c.Devs[i].NotifyPeerUp(j)
+				}
 				continue
 			}
 			if d.suspected[i][j] || now.Sub(d.lastHeard[i][j]) <= threshold {
 				continue
 			}
 			d.suspected[i][j] = true
+			d.viewEpoch[i]++
 			d.Detections++
 			net.Tracer().Instant(now, telemetry.EvSuspect, int32(i), 0, int64(j), 0)
-			if ct, ok := net.CrashTime(j); ok && ct <= now {
-				if lat := now.Sub(ct); lat > d.MaxDetectionLatency {
+			if dt, ok := net.DownTime(j); ok && dt <= now {
+				if lat := now.Sub(dt); lat > d.MaxDetectionLatency {
 					d.MaxDetectionLatency = lat
 				}
 			}
 			d.c.Devs[i].NotifyPeerDown(j)
 		}
 	}
+	d.lastTick = now
 }
 
-// Dead returns the nodes a majority of the cluster suspects, in node order.
-// A single crashed node is always in the set once detected (its survivors
-// all suspect it), while the crashed node's own suspicions of everyone else
-// — it hears nothing once its NIC dies — never reach a majority.
+// Dead returns the nodes the cluster has declared dead, in node order. A
+// node j is dead when a majority suspects it AND no live witness vouches
+// for it: a witness is a node i that is itself not majority-suspected, does
+// not suspect j, and heard j within the suspicion threshold of the last
+// heartbeat round. A crashed node has no witnesses (nobody hears it), so it
+// is declared dead as before; a node severed from a majority by an
+// asymmetric partition keeps a fresh witness on the reachable side and is
+// only ever suspected — suspicion, not split-brain false death.
 func (d *Detector) Dead() []int {
-	var dead []int
+	threshold := sim.Duration(d.cfg.Suspect) * d.cfg.Period
+	majoritySuspected := make([]bool, d.c.N)
 	for j := 0; j < d.c.N; j++ {
 		votes := 0
 		for i := 0; i < d.c.N; i++ {
@@ -155,7 +195,23 @@ func (d *Detector) Dead() []int {
 				votes++
 			}
 		}
-		if 2*votes > d.c.N {
+		majoritySuspected[j] = 2*votes > d.c.N
+	}
+	var dead []int
+	for j := 0; j < d.c.N; j++ {
+		if !majoritySuspected[j] {
+			continue
+		}
+		vetoed := false
+		for i := 0; i < d.c.N && !vetoed; i++ {
+			if i == j || majoritySuspected[i] || d.suspected[i][j] {
+				continue
+			}
+			if d.lastTick.Sub(d.lastHeard[i][j]) <= threshold {
+				vetoed = true
+			}
+		}
+		if !vetoed {
 			dead = append(dead, j)
 		}
 	}
@@ -164,3 +220,18 @@ func (d *Detector) Dead() []int {
 
 // Suspected reports whether node i currently suspects node j.
 func (d *Detector) Suspected(i, j int) bool { return d.suspected[i][j] }
+
+// ViewEpoch returns node i's membership-view epoch: it advances on every
+// suspicion set or clear at i, so equal epochs imply identical views.
+func (d *Detector) ViewEpoch(i int) uint64 { return d.viewEpoch[i] }
+
+// View returns node i's current membership view: its epoch stamp and the
+// peers i suspects, in node order.
+func (d *Detector) View(i int) (epoch uint64, suspects []int) {
+	for j := 0; j < d.c.N; j++ {
+		if d.suspected[i][j] {
+			suspects = append(suspects, j)
+		}
+	}
+	return d.viewEpoch[i], suspects
+}

@@ -65,6 +65,12 @@ type RecoveryResult struct {
 	// worst crash-to-suspicion latency.
 	Detections int
 	MaxDetect  sim.Duration
+	// PartitionsKept counts the (source, destination) partitions that
+	// restart attempts skipped re-streaming because the destination already
+	// held them complete from an earlier attempt; PartitionsRestreamed
+	// counts the partitions restarts streamed again. A full restart of an
+	// n-node query re-streams n*n partitions per attempt.
+	PartitionsKept, PartitionsRestreamed int
 }
 
 // PublishMetrics copies the recovery run's aggregates into the registry
@@ -76,6 +82,8 @@ func (r *RecoveryResult) PublishMetrics(reg *telemetry.Registry) {
 	reg.Counter("recovery.fd_detections").Add(int64(r.Detections))
 	reg.Gauge("recovery.fd_max_detect_us").SetMax(float64(r.MaxDetect) / 1e3)
 	reg.Gauge("recovery.total_virtual_ms").SetMax(float64(r.TotalVirtual) / 1e6)
+	reg.Counter("recovery.partitions_kept").Add(int64(r.PartitionsKept))
+	reg.Counter("recovery.partitions_restreamed").Add(int64(r.PartitionsRestreamed))
 }
 
 // backoff returns the delay before restart number restart (0-based).
@@ -148,9 +156,25 @@ func (pol RecoveryPolicy) next(r *RecoveryResult, attempt int, cause error) (sim
 // nodes dead the next attempt re-plans the query over the N-1 survivors
 // instead of retrying the full membership against a node that will never
 // answer.
+//
+// When the membership is unchanged between attempts — the transient-fault
+// case: a reboot or a healed partition, where the detector suspects but
+// never convicts — restarts are partial: the per-partition progress
+// watermarks of the failed attempt (BenchResult.Progress) identify the
+// (source, destination) streams whose end-of-stream marker was delivered,
+// and the next attempt skips re-streaming those. A destination whose boot
+// epoch advanced mid-attempt lost its memory, so its watermarks are
+// discarded and everything it held is re-streamed. A membership change
+// re-hashes every partition, so it always forces a full re-stream.
 type MembershipRecovery struct {
 	Policy   RecoveryPolicy
 	Detector DetectorConfig
+}
+
+// keptPart is the carried payload of one complete (source, destination)
+// partition: the rows and bytes the destination already holds.
+type keptPart struct {
+	rows, bytes int64
 }
 
 // Run executes the workload with membership-aware restarts. mk builds a
@@ -163,15 +187,36 @@ func (mr MembershipRecovery) Run(n int, mk func(attempt, members int) *Cluster, 
 	for i := range members {
 		members[i] = i
 	}
+	// kept maps an {original src, original dst} pair to the payload the
+	// destination retains from a completed stream of an earlier attempt.
+	kept := make(map[[2]int]keptPart)
 	r := &RecoveryResult{}
 	var backoff sim.Duration
 	for attempt := 0; ; attempt++ {
+		aOpts := opts
+		aOpts.SkipTo = skipMatrix(kept, members)
+		if attempt > 0 {
+			nk := countSkips(aOpts.SkipTo)
+			r.PartitionsKept += nk
+			r.PartitionsRestreamed += len(members)*len(members) - nk
+		}
 		c := mk(attempt, len(members))
 		fd := c.InstallDetector(mr.Detector)
-		res, err := c.RunBench(opts)
+		res, err := c.RunBench(aOpts)
 		if err != nil {
 			r.Restarts = len(r.Attempts)
 			return r, err
+		}
+		// Fold the partitions this attempt skipped back into its totals, so
+		// a partial restart reports the same delivered rows and bytes as the
+		// fault-free run.
+		for ld, dorig := range members {
+			for _, sorig := range members {
+				if k, ok := kept[[2]int{sorig, dorig}]; ok && ld < len(res.RowsPerNode) {
+					res.RowsPerNode[ld] += k.rows
+					res.BytesPerNode[ld] += k.bytes
+				}
+			}
 		}
 		r.BenchResult = res
 		r.TotalVirtual += res.Elapsed
@@ -187,6 +232,7 @@ func (mr MembershipRecovery) Run(n int, mk func(attempt, members int) *Cluster, 
 		if res.Err == nil {
 			return r, nil
 		}
+		harvestKept(kept, res, members)
 		// Shrink the membership by the nodes a majority suspects. The
 		// detector indexes this attempt's cluster; map back to original ids.
 		if dead := fd.Dead(); len(dead) > 0 {
@@ -201,6 +247,10 @@ func (mr MembershipRecovery) Run(n int, mk func(attempt, members int) *Cluster, 
 				}
 			}
 			members = next
+			// Fewer groups re-hash every tuple to a new destination: the
+			// retained partitions no longer match the plan, so the shrunken
+			// attempt re-streams everything.
+			kept = make(map[[2]int]keptPart)
 		}
 		if len(members) == 0 {
 			return r, fmt.Errorf("%w: no surviving members after %d attempt(s): %v",
@@ -209,6 +259,83 @@ func (mr MembershipRecovery) Run(n int, mk func(attempt, members int) *Cluster, 
 		backoff, err = pol.next(r, attempt, res.Err)
 		if err != nil {
 			return r, err
+		}
+	}
+}
+
+// skipMatrix projects the kept-partition set onto the attempt's local node
+// ids: row src lists the destinations sender src must not re-stream. It
+// returns nil when nothing is kept.
+func skipMatrix(kept map[[2]int]keptPart, members []int) [][]bool {
+	if len(kept) == 0 {
+		return nil
+	}
+	m := make([][]bool, len(members))
+	any := false
+	for ls, sorig := range members {
+		m[ls] = make([]bool, len(members))
+		for ld, dorig := range members {
+			if _, ok := kept[[2]int{sorig, dorig}]; ok {
+				m[ls][ld] = true
+				any = true
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	return m
+}
+
+// countSkips counts the true cells of a skip matrix.
+func countSkips(m [][]bool) int {
+	n := 0
+	for _, row := range m {
+		for _, b := range row {
+			if b {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// harvestKept updates the kept-partition set after a failed attempt. A
+// stream (src, dst) becomes kept when the destination's watermark shows it
+// complete — the end-of-stream marker arrived, so the destination holds the
+// whole partition. A destination whose boot epoch advanced rebooted during
+// the attempt: its memory is gone, so every partition it held is dropped.
+// Pairs already kept from earlier attempts ran skipped (zero new rows) and
+// retain their original payload accounting.
+func harvestKept(kept map[[2]int]keptPart, res *BenchResult, members []int) {
+	for ld, dorig := range members {
+		if ld < len(res.Epochs) && res.Epochs[ld] > 1 {
+			for _, sorig := range members {
+				delete(kept, [2]int{sorig, dorig})
+			}
+			continue
+		}
+		if ld >= len(res.Progress) {
+			continue
+		}
+		// All rows share one schema, so the attempt's byte/row ratio at this
+		// destination recovers the per-partition byte count. Carried-forward
+		// rows were folded in with the same width, so the ratio is unchanged.
+		var width int64
+		if ld < len(res.RowsPerNode) && res.RowsPerNode[ld] > 0 {
+			width = res.BytesPerNode[ld] / res.RowsPerNode[ld]
+		}
+		for ls, sorig := range members {
+			if ls >= len(res.Progress[ld]) {
+				break
+			}
+			key := [2]int{sorig, dorig}
+			if _, ok := kept[key]; ok {
+				continue
+			}
+			if pp := res.Progress[ld][ls]; pp.Complete {
+				kept[key] = keptPart{rows: pp.Rows, bytes: pp.Rows * width}
+			}
 		}
 	}
 }

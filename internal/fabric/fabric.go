@@ -325,6 +325,41 @@ func (n *Network) Crashed(node int, at sim.Time) bool {
 // rule names it at all, for failure detectors measuring detection latency.
 func (n *Network) CrashTime(node int) (sim.Time, bool) { return n.faults.crashTime(node) }
 
+// Down reports whether node's port is dark at time at: crash-stopped, or
+// inside a FaultReboot window. Unlike Crashed, a Down node may come back.
+func (n *Network) Down(node int, at sim.Time) bool {
+	if n.faults.Empty() {
+		return false
+	}
+	return n.faults.down(node, at)
+}
+
+// Cut reports whether the directed link (from, to) is severed by an active
+// FaultPartition rule at time at. Partitions cut everything on the link —
+// control lane and infrastructure transfers included — in the given
+// direction only (a symmetric partition installs both directions).
+func (n *Network) Cut(from, to int, at sim.Time) bool {
+	if n.faults.Empty() {
+		return false
+	}
+	return n.faults.cut(from, to, at)
+}
+
+// Reachable reports whether a packet from node from can reach node to at
+// time at: both ports up and the directed link not partitioned. Connection
+// managers probe it before attempting a reconnect.
+func (n *Network) Reachable(from, to int, at sim.Time) bool {
+	if n.faults.Empty() {
+		return true
+	}
+	return !n.faults.down(from, at) && !n.faults.down(to, at) && !n.faults.cut(from, to, at)
+}
+
+// DownTime returns the instant node's port first goes dark (earliest
+// FaultCrash or FaultReboot Start) and whether any such rule exists, for
+// failure detectors measuring detection latency.
+func (n *Network) DownTime(node int) (sim.Time, bool) { return n.faults.downTime(node) }
+
 // InjectUDLoss forces the next k UD messages destined to node to be dropped,
 // for fault-injection tests. It is a convenience wrapper over a
 // deterministic count rule in the fault plan (no RNG draws).
@@ -519,12 +554,14 @@ func (n *Network) Transmit(m *Message) {
 		return
 	}
 	n.Sim.At(arrive, func() {
-		// A crash-stopped endpoint kills the message on the wire regardless of
-		// class: unlike FaultRCLoss this also swallows infrastructure
-		// transfers (nil Dropped), exactly as a dead port would. The sender's
-		// crash is judged at serialization time, the receiver's at arrival.
+		// A dark endpoint port (crash or reboot window) or a partitioned link
+		// kills the message on the wire regardless of class: unlike
+		// FaultRCLoss this also swallows infrastructure transfers (nil
+		// Dropped), exactly as a dead port or severed trunk would. The
+		// sender's outage is judged at serialization time, the receiver's and
+		// the link's at arrival.
 		if !lost && !n.faults.Empty() &&
-			(n.faults.crashed(m.From, now) || n.faults.crashed(m.To, n.Sim.Now())) {
+			n.faults.severed(m.From, m.To, now, n.Sim.Now()) {
 			lost = true
 		}
 		if lost {
@@ -802,20 +839,21 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 		n.Sim.At(txDone, func() { m.Sent(n.Sim.Now()) })
 	}
 
-	// A crashed sender's packet never reaches the switch: no member — not
-	// even the sender's own switch-loopback copy — sees it.
-	senderCrashed := !n.faults.Empty() && n.faults.crashed(m.From, now)
+	// A dark sender port (crash or reboot window) keeps the packet off the
+	// switch: no member — not even the sender's own switch-loopback copy —
+	// sees it.
+	senderDown := !n.faults.Empty() && n.faults.down(m.From, now)
 	for _, d := range dests {
 		d := d
 		if d == m.From {
-			if senderCrashed {
+			if senderDown {
 				continue
 			}
 			// The switch loops the packet back to an attached sender port.
 			n.Sim.At(txDone, func() { deliver(d, n.Sim.Now()) })
 			continue
 		}
-		lost := senderCrashed
+		lost := senderDown
 		if !lost && !n.faults.Empty() && n.faults.drop(FaultUDLoss, m.From, d, now) {
 			lost = true
 		} else if !lost && prof.UDLossRate > 0 && n.Sim.Rand().Float64() < prof.UDLossRate {
@@ -828,8 +866,9 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 		dst := n.nics[d]
 		arrive := txDone.Add(prof.SwitchDelay + prof.PropagationDelay)
 		n.Sim.At(arrive, func() {
-			if !lost && !n.faults.Empty() && n.faults.crashed(d, n.Sim.Now()) {
-				lost = true // dead member port: the replicated copy vanishes
+			if !lost && !n.faults.Empty() &&
+				(n.faults.down(d, n.Sim.Now()) || n.faults.cut(m.From, d, n.Sim.Now())) {
+				lost = true // dark member port or severed trunk: the copy vanishes
 			}
 			if lost {
 				dst.stats.UDDropped++

@@ -39,6 +39,22 @@ const (
 	// classes spare — vanishes on the wire. Unlike FaultPause the node never
 	// comes back; the rule admits no End, Period, OnFor, Rate or Count.
 	FaultCrash
+	// FaultReboot silences a node (rule field To names the node) exactly like
+	// FaultCrash — every link cut, control lane included — but only for a
+	// bounded window: the port comes back up at the window's end. Memory-tier
+	// consequences (a rebooted node forgets everything it had received; its
+	// stale Queue Pairs must be fenced) live in the verbs and cluster layers;
+	// the fabric only models the port outage. The window must be finite (End
+	// or OnFor), and Period/Rate/Count are not admitted.
+	FaultReboot
+	// FaultPartition cuts every link from the nodes of GroupA to the nodes of
+	// GroupB over [Start, End) — control lane included, exactly as a failed
+	// inter-switch trunk would. Symmetric by default (both directions); Asym
+	// restricts the cut to the A->B direction, modelling the one-way gray
+	// failures that confuse majority-vote failure detectors. End is required:
+	// a partition heals at a deadline (a permanent one is a set of
+	// FaultCrash rules).
+	FaultPartition
 )
 
 func (c FaultClass) String() string {
@@ -55,6 +71,10 @@ func (c FaultClass) String() string {
 		return "pause"
 	case FaultCrash:
 		return "crash"
+	case FaultReboot:
+		return "reboot"
+	case FaultPartition:
+		return "partition"
 	}
 	return "unknown"
 }
@@ -83,8 +103,23 @@ type FaultRule struct {
 	Count    int
 	// Factor is the bandwidth multiplier for FaultDegrade rules.
 	Factor float64
+	// GroupA and GroupB are the two sides of a FaultPartition rule; every
+	// link from a GroupA node to a GroupB node is cut while the window is
+	// open, and the reverse direction too unless Asym is set.
+	GroupA, GroupB []int
+	Asym           bool
 
 	fired int
+}
+
+// inGroup reports whether node appears in g.
+func inGroup(g []int, node int) bool {
+	for _, n := range g {
+		if n == node {
+			return true
+		}
+	}
+	return false
 }
 
 // windowOpen reports whether the rule's time window covers now.
@@ -149,7 +184,8 @@ type FaultPlan struct {
 
 // Add installs a rule and returns it (so tests can keep a handle).
 func (p *FaultPlan) Add(r FaultRule) *FaultRule {
-	if r.Class == FaultDegrade && (r.Factor <= 0 || r.Factor > 1) {
+	// Written as a negated conjunction so a NaN Factor is rejected too.
+	if r.Class == FaultDegrade && !(r.Factor > 0 && r.Factor <= 1) {
 		panic("fabric: FaultDegrade requires 0 < Factor <= 1")
 	}
 	if r.Class == FaultPause && r.End == 0 && r.OnFor <= 0 {
@@ -164,6 +200,37 @@ func (p *FaultPlan) Add(r FaultRule) *FaultRule {
 		}
 		if r.End != 0 || r.Period != 0 || r.OnFor != 0 || r.Rate != 0 || r.Count != 0 {
 			panic("fabric: FaultCrash is permanent and unconditional; End/Period/OnFor/Rate/Count must be zero")
+		}
+	}
+	if r.Class == FaultReboot {
+		if r.To == AnyNode || r.To < 0 {
+			panic("fabric: FaultReboot requires a concrete To node")
+		}
+		if r.End == 0 && r.OnFor <= 0 {
+			panic("fabric: FaultReboot requires a finite down window (End or OnFor); a node that never comes back is FaultCrash")
+		}
+		if r.End != 0 && r.End <= r.Start {
+			panic("fabric: FaultReboot window must end after it starts")
+		}
+		if r.Period != 0 || r.Rate != 0 || r.Count != 0 {
+			panic("fabric: FaultReboot is a single unconditional window; Period/Rate/Count must be zero")
+		}
+	}
+	if r.Class == FaultPartition {
+		if len(r.GroupA) == 0 || len(r.GroupB) == 0 {
+			panic("fabric: FaultPartition requires non-empty GroupA and GroupB")
+		}
+		for _, a := range r.GroupA {
+			if inGroup(r.GroupB, a) {
+				panic("fabric: FaultPartition groups must be disjoint")
+			}
+		}
+		// End == 0 would read as an open-ended window regardless of Start.
+		if r.End == 0 || r.End <= r.Start {
+			panic("fabric: FaultPartition requires a heal deadline (End > Start); a permanent cut is a set of FaultCrash rules")
+		}
+		if r.Period != 0 || r.OnFor != 0 || r.Rate != 0 || r.Count != 0 {
+			panic("fabric: FaultPartition is a single unconditional window; Period/OnFor/Rate/Count must be zero")
 		}
 	}
 	rule := &r
@@ -254,6 +321,66 @@ func (p *FaultPlan) crashTime(node int) (sim.Time, bool) {
 	found := false
 	for _, r := range p.rules {
 		if r.Class != FaultCrash || r.To != node {
+			continue
+		}
+		if !found || r.Start < at {
+			at = r.Start
+		}
+		found = true
+	}
+	return at, found
+}
+
+// down reports whether node's port is dark at now: crash-stopped, or inside
+// a FaultReboot window.
+func (p *FaultPlan) down(node int, now sim.Time) bool {
+	for _, r := range p.rules {
+		switch r.Class {
+		case FaultCrash:
+			if r.To == node && now >= r.Start {
+				return true
+			}
+		case FaultReboot:
+			if r.To == node && r.windowOpen(now) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// cut reports whether the directed link (from, to) is severed by an active
+// FaultPartition rule at now.
+func (p *FaultPlan) cut(from, to int, now sim.Time) bool {
+	for _, r := range p.rules {
+		if r.Class != FaultPartition || !r.windowOpen(now) {
+			continue
+		}
+		if inGroup(r.GroupA, from) && inGroup(r.GroupB, to) {
+			return true
+		}
+		if !r.Asym && inGroup(r.GroupB, from) && inGroup(r.GroupA, to) {
+			return true
+		}
+	}
+	return false
+}
+
+// severed reports whether a message on (from, to) dies on the wire: the
+// sender's port was dark at serialization, the receiver's port is dark at
+// arrival, or the link between them is partitioned at arrival.
+func (p *FaultPlan) severed(from, to int, sentAt, arriveAt sim.Time) bool {
+	return p.down(from, sentAt) || p.down(to, arriveAt) || p.cut(from, to, arriveAt)
+}
+
+// downTime returns the instant node's port first goes dark (the earliest
+// Start among its FaultCrash and FaultReboot rules) and whether any such
+// rule exists. Failure detectors use it to measure detection latency.
+func (p *FaultPlan) downTime(node int) (sim.Time, bool) {
+	var at sim.Time
+	found := false
+	for _, r := range p.rules {
+		if (r.Class != FaultCrash && r.Class != FaultReboot) || r.To != node {
 			continue
 		}
 		if !found || r.Start < at {

@@ -37,6 +37,13 @@ type Shuffle struct {
 	// the library copies by default.
 	ZeroCopy bool
 
+	// SkipTo marks destination nodes whose partitions are already complete
+	// from a previous attempt (partial restart): tuples whose transmission
+	// group lies entirely within the skip set are hashed but neither packed
+	// nor sent. End-of-stream still propagates to skipped destinations, so
+	// their receivers observe a clean zero-row stream.
+	SkipTo []bool
+
 	// Err records the first transport error; the query should restart.
 	Err error
 
@@ -46,7 +53,9 @@ type Shuffle struct {
 	// epUsers counts threads still using each endpoint; the last one out
 	// propagates Depleted (Alg. 1 lines 14-17 generalized to any e).
 	epUsers []int
-	empty   *engine.Batch
+	// skip[g] is true when every member of group g is in SkipTo.
+	skip  []bool
+	empty *engine.Batch
 }
 
 // Schema implements engine.Operator; the shuffle transmits its input.
@@ -64,6 +73,20 @@ func (s *Shuffle) Open(ctx *engine.Ctx) {
 	s.epUsers = make([]int, len(s.eps))
 	for t := 0; t < ctx.Threads; t++ {
 		s.epUsers[t%len(s.eps)]++
+	}
+	s.skip = nil
+	if len(s.SkipTo) > 0 {
+		s.skip = make([]bool, len(s.G))
+		for g, members := range s.G {
+			all := len(members) > 0
+			for _, m := range members {
+				if m >= len(s.SkipTo) || !s.SkipTo[m] {
+					all = false
+					break
+				}
+			}
+			s.skip[g] = all
+		}
 	}
 	s.empty = engine.NewBatch(s.In.Schema(), 1)
 }
@@ -89,6 +112,11 @@ func (s *Shuffle) Next(p *sim.Proc, tid int) (*engine.Batch, engine.State) {
 			for i := 0; i < in.N; i++ {
 				row := in.Row(i)
 				g := int(s.Key(sch, row) % ng)
+				if s.skip != nil && s.skip[g] {
+					// The group's receivers already hold this partition from a
+					// previous attempt; the tuple is hashed but not re-sent.
+					continue
+				}
 				cur := s.out[tid][g]
 				if cur == nil {
 					b, err := target.GetFree(p)
@@ -166,6 +194,10 @@ type Receive struct {
 	Bytes int64
 	// Rows counts tuples received.
 	Rows int64
+	// RowsFrom counts tuples received per source node (grown on demand);
+	// together with endpoint completion state it forms the per-partition
+	// progress watermark that partial-restart recovery consults.
+	RowsFrom []int64
 
 	ctx  *engine.Ctx
 	eps  []RecvEndpoint
@@ -225,6 +257,10 @@ func (r *Receive) Next(p *sim.Proc, tid int) (*engine.Batch, engine.State) {
 		r.ctx.ChargeCopy(p, consumed)
 		r.Bytes += int64(consumed)
 		r.Rows += int64(n)
+		for len(r.RowsFrom) <= d.Src {
+			r.RowsFrom = append(r.RowsFrom, 0)
+		}
+		r.RowsFrom[d.Src] += int64(n)
 		off += consumed
 		if off < len(d.Payload) {
 			r.pend[tid] = &pendingData{d: d, off: off}
@@ -244,6 +280,39 @@ func (r *Receive) Next(p *sim.Proc, tid int) (*engine.Batch, engine.State) {
 
 // Close implements engine.Operator.
 func (r *Receive) Close(p *sim.Proc) {}
+
+// PartitionProgress is the watermark of the stream from one source node.
+type PartitionProgress struct {
+	// Rows is how many tuples arrived from the source.
+	Rows int64
+	// Complete is true when every receive endpoint saw the source's
+	// end-of-stream marker: the partition is fully delivered and a restart
+	// may skip re-streaming it (provided this node's memory survived).
+	Complete bool
+}
+
+// Progress returns the per-source progress watermarks over n source nodes.
+// A source is complete only if every endpoint reports its stream depleted;
+// endpoints that cannot report progress make every source incomplete, which
+// degrades partial restart to a (correct) full restart.
+func (r *Receive) Progress(n int) []PartitionProgress {
+	out := make([]PartitionProgress, n)
+	for src := 0; src < n; src++ {
+		if src < len(r.RowsFrom) {
+			out[src].Rows = r.RowsFrom[src]
+		}
+		complete := len(r.eps) > 0
+		for _, ep := range r.eps {
+			pr, ok := ep.(ProgressReporter)
+			if !ok || !pr.Depleted(src) {
+				complete = false
+				break
+			}
+		}
+		out[src].Complete = complete
+	}
+	return out
+}
 
 // CheckErr returns the first transport error seen by either side.
 func CheckErr(sh *Shuffle, rc *Receive) error {

@@ -84,6 +84,13 @@ func (e *rdRCSend) ClosePeer(peer int) {
 	e.dev.KickMemWaiters()
 }
 
+// ReopenPeer implements PeerResumer.
+func (e *rdRCSend) ReopenPeer(peer int) {
+	if peer >= 0 && peer < e.n {
+		e.failed[peer] = false
+	}
+}
+
 func (e *rdRCSend) anyFailed() (int, bool) {
 	for d, f := range e.failed {
 		if f {
@@ -313,6 +320,18 @@ func (e *rdRCRecv) DrainPeer(peer int) {
 func (e *rdRCRecv) ClosePeer(peer int) {
 	e.ocq.Kick()
 	e.dev.KickMemWaiters()
+}
+
+// ReopenPeer implements PeerResumer.
+func (e *rdRCRecv) ReopenPeer(peer int) {
+	if peer >= 0 && peer < e.n {
+		e.failed[peer] = false
+	}
+}
+
+// Depleted implements ProgressReporter.
+func (e *rdRCRecv) Depleted(src int) bool {
+	return src >= 0 && src < e.n && e.depletedBy[src]
 }
 
 // missingFailed returns a failed source whose stream is still incomplete.

@@ -103,6 +103,15 @@ func (e *srRCSend) ClosePeer(peer int) {
 	e.dev.KickMemWaiters()
 }
 
+// ReopenPeer implements PeerResumer: the failed mark clears and the
+// sent/credit counters stay as they were — the absolute-credit protocol
+// needs no reset, so a drain/reopen cycle leaks nothing.
+func (e *srRCSend) ReopenPeer(peer int) {
+	if peer >= 0 && peer < e.n {
+		e.failed[peer] = false
+	}
+}
+
 // anyFailed returns a failed destination this endpoint still owes traffic,
 // if one exists.
 func (e *srRCSend) anyFailed() (int, bool) {
@@ -332,6 +341,19 @@ func (e *srRCRecv) DrainPeer(peer int) {
 func (e *srRCRecv) ClosePeer(peer int) {
 	e.rcq.Kick()
 	e.wcq.Kick()
+}
+
+// ReopenPeer implements PeerResumer.
+func (e *srRCRecv) ReopenPeer(peer int) {
+	if peer >= 0 && peer < e.n {
+		e.failed[peer] = false
+	}
+}
+
+// Depleted implements ProgressReporter: the stream from src completed once
+// its Depleted marker arrived.
+func (e *srRCRecv) Depleted(src int) bool {
+	return src >= 0 && src < e.n && e.depletedBy[src]
 }
 
 // missingFailed returns a failed source whose stream is still incomplete.

@@ -62,6 +62,15 @@ func (e *srUDSend) ClosePeer(peer int) {
 	e.scq.Kick()
 }
 
+// ReopenPeer implements PeerResumer. UD connections hold no per-peer QP
+// state, so clearing the failed mark fully resumes the destination: the
+// absolute credit and totals counters were never disturbed by the drain.
+func (e *srUDSend) ReopenPeer(peer int) {
+	if peer >= 0 && peer < e.n {
+		e.failed[peer] = false
+	}
+}
+
 func (e *srUDSend) buf(off int) *Buf {
 	return &Buf{Data: e.mr.Buf[off+HeaderSize : off+e.mtu], off: off}
 }
@@ -324,6 +333,19 @@ func (e *srUDRecv) DrainPeer(peer int) {
 func (e *srUDRecv) ClosePeer(peer int) {
 	e.rcq.Kick()
 	e.scq.Kick()
+}
+
+// ReopenPeer implements PeerResumer.
+func (e *srUDRecv) ReopenPeer(peer int) {
+	if peer >= 0 && peer < e.n {
+		e.failed[peer] = false
+	}
+}
+
+// Depleted implements ProgressReporter: a UD stream is complete only when
+// the sender's total is known and every counted message arrived.
+func (e *srUDRecv) Depleted(src int) bool {
+	return src >= 0 && src < e.n && e.totalKnown[src] && e.received[src] == e.expected[src]
 }
 
 // missingFailed returns a failed source whose stream is still incomplete.

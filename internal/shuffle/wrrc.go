@@ -77,6 +77,13 @@ func (e *wrRCSend) ClosePeer(peer int) {
 	e.dev.KickMemWaiters()
 }
 
+// ReopenPeer implements PeerResumer.
+func (e *wrRCSend) ReopenPeer(peer int) {
+	if peer >= 0 && peer < e.n {
+		e.failed[peer] = false
+	}
+}
+
 func (e *wrRCSend) anyFailed() (int, bool) {
 	for d, f := range e.failed {
 		if f {
@@ -316,6 +323,18 @@ func (e *wrRCRecv) DrainPeer(peer int) {
 func (e *wrRCRecv) ClosePeer(peer int) {
 	e.gcq.Kick()
 	e.dev.KickMemWaiters()
+}
+
+// ReopenPeer implements PeerResumer.
+func (e *wrRCRecv) ReopenPeer(peer int) {
+	if peer >= 0 && peer < e.n {
+		e.failed[peer] = false
+	}
+}
+
+// Depleted implements ProgressReporter.
+func (e *wrRCRecv) Depleted(src int) bool {
+	return src >= 0 && src < e.n && e.depletedBy[src]
 }
 
 // missingFailed returns a failed source whose stream is still incomplete.

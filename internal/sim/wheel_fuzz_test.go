@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzTimerWheel drives the hierarchical timer wheel with a fuzzed op
+// stream — schedule, cancel, and advance ops whose delays span every wheel
+// level and the overflow list — and checks the kernel contract: every
+// armed timer fires exactly at its deadline in strict (time, schedule
+// order), a Stop that returns true suppresses the callback forever, and a
+// Stop that returns false means the callback already ran.
+func FuzzTimerWheel(f *testing.F) {
+	// Seeds: same-instant bursts, cascade crossings, far-future overflow,
+	// cancel-before-fire, cancel-after-fire, zero delays.
+	f.Add([]byte{0, 0, 0, 0, 1, 0, 0xff, 2, 0, 0x10, 3, 0, 1})
+	f.Add([]byte{0, 0xff, 0xff, 0, 0xff, 0xff, 3, 0, 0, 1, 0, 0, 2, 0, 1})
+	f.Add([]byte{16, 0, 1, 17, 0, 1, 18, 0, 1, 19, 0, 1, 20, 0, 1, 3, 0, 2})
+	f.Add([]byte{0, 0, 1, 2, 0, 4, 1, 0, 0, 3, 0, 0, 2, 0, 8, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 3*512 {
+			data = data[:3*512] // bound the schedule, not the delays
+		}
+		s := New(1)
+		type rec struct {
+			at        Time
+			seq       int
+			tm        Timer
+			fired     bool
+			cancelled bool
+		}
+		var recs []*rec
+		var order []*rec
+		s.Spawn("driver", func(p *Proc) {
+			for i := 0; i+3 <= len(data); i += 3 {
+				op := data[i]
+				arg := binary.LittleEndian.Uint16(data[i+1 : i+3])
+				switch op % 4 {
+				case 0, 1: // schedule; the op's high bits pick the magnitude
+					d := Duration(arg) << (uint(op/4) % 8 * 6) // up to ~2^57 ns: overflow territory
+					r := &rec{at: s.Now().Add(d), seq: len(recs)}
+					r.tm = s.AfterTimer(d, func() {
+						if s.Now() != r.at {
+							t.Errorf("timer %d fired at %v, armed for %v", r.seq, s.Now(), r.at)
+						}
+						r.fired = true
+						order = append(order, r)
+					})
+					recs = append(recs, r)
+				case 2: // cancel an arbitrary earlier timer
+					if len(recs) > 0 {
+						r := recs[int(arg)%len(recs)]
+						if r.tm.Stop() {
+							if r.fired {
+								t.Errorf("Stop returned true for fired timer %d", r.seq)
+							}
+							r.cancelled = true
+						} else if !r.fired && !r.cancelled {
+							t.Errorf("Stop returned false for pending timer %d", r.seq)
+						}
+					}
+				case 3: // advance the clock mid-stream to force cascades
+					p.Sleep(Duration(arg) << (uint(op/4) % 6 * 5))
+				}
+			}
+		})
+		if err := s.Run(); err != nil {
+			t.Fatalf("simulation failed: %v", err)
+		}
+		for _, r := range recs {
+			if r.cancelled && r.fired {
+				t.Fatalf("timer %d both cancelled and fired", r.seq)
+			}
+			if !r.cancelled && !r.fired {
+				t.Fatalf("timer %d armed for %v never fired (clock ended at %v)", r.seq, r.at, s.Now())
+			}
+		}
+		for i := 1; i < len(order); i++ {
+			a, b := order[i-1], order[i]
+			if a.at > b.at || (a.at == b.at && a.seq > b.seq) {
+				t.Fatalf("order violation: timer %d (%v) fired before timer %d (%v)",
+					a.seq, a.at, b.seq, b.at)
+			}
+		}
+	})
+}

@@ -81,6 +81,12 @@ type QP struct {
 	connected bool
 	peerNode  int
 	peerQPN   uint32
+	// peerEpoch is the peer device's boot epoch captured at Connect (the
+	// epoch rides the connection-manager exchange). Every work request this
+	// QP issues carries it, and the responder fences requests whose epoch no
+	// longer matches its own — a pre-reboot QP can never complete into
+	// post-reboot memory. Zero means unfenced (peer not epoch-aware).
+	peerEpoch uint64
 
 	recvQ       []RecvWR
 	outstanding int
@@ -175,7 +181,34 @@ func (qp *QP) Connect(peerNode int, peerQPN uint32) error {
 	qp.connected = true
 	qp.peerNode = peerNode
 	qp.peerQPN = peerQPN
+	// The peer's boot epoch rides the out-of-band connection exchange; work
+	// requests carry it so the responder can fence stale writers after a
+	// reboot. Loopback connections and non-device peers stay unfenced.
+	if peerNode != qp.dev.node {
+		if peer, ok := qp.dev.net.Host(peerNode).(*Device); ok {
+			qp.peerEpoch = peer.epoch
+		}
+	}
 	return nil
+}
+
+// PeerEpoch returns the peer boot epoch captured at Connect (0 if unfenced).
+func (qp *QP) PeerEpoch() uint64 { return qp.peerEpoch }
+
+// fencedAt implements the responder-side epoch check: if this QP's captured
+// peer epoch is stale with respect to the responder device's current epoch,
+// the work request is rejected before touching responder memory — the
+// responder counts and traces the fence, and the requester QP breaks with
+// WCFenced. It returns true when the request must not proceed.
+func (qp *QP) fencedAt(responder *Device, wrID uint64, op Opcode) bool {
+	if qp.peerEpoch == 0 || qp.peerEpoch == responder.epoch {
+		return false
+	}
+	responder.stats.StaleFenced++
+	responder.tr().Instant(responder.net.Sim.Now(), telemetry.EvStaleFenced,
+		int32(responder.node), qp.cacheKey(), int64(qp.dev.node), int64(responder.epoch))
+	qp.enterError(CQE{QPN: qp.qpn, WRID: wrID, Op: op, Status: WCFenced})
+	return true
 }
 
 // PostRecv posts a receive buffer. The buffer must stay untouched until its
@@ -476,6 +509,11 @@ func (qp *QP) deliverRC(toNode int, toQPN uint32, payload []byte, wr SendWR) {
 		qp.enterError(CQE{QPN: qp.qpn, WRID: wr.ID, Op: OpSend, Status: WCRetryExceeded})
 		return
 	}
+	if qp.fencedAt(dst, wr.ID, OpSend) {
+		// Stale boot epoch: the responder rejects the Send before it can
+		// consume a post-reboot receive buffer.
+		return
+	}
 	if len(rqp.stalled) > 0 || len(rqp.recvQ) == 0 {
 		qp.dev.stats.RNRRetries++
 		qp.dev.tr().Instant(qp.dev.net.Sim.Now(), telemetry.EvRNRRetry,
@@ -626,6 +664,9 @@ func (qp *QP) postRead(wr SendWR) error {
 		Payload: prof.ReadRequestBytes, Service: fabric.RC,
 	}
 	req.Deliver = func(at sim.Time) {
+		if qp.fencedAt(remote, wr.ID, OpRead) {
+			return
+		}
 		// The responder NIC DMA-reads the region now — no remote CPU.
 		rmr := remote.mrs[wr.RemoteKey]
 		if rmr == nil || wr.RemoteOffset < 0 || wr.RemoteOffset+wr.Len > len(rmr.Buf) {
@@ -686,6 +727,9 @@ func (qp *QP) postWrite(p *sim.Proc, wr SendWR) error {
 		Payload: wr.Len, Service: fabric.RC,
 	}
 	msg.Deliver = func(at sim.Time) {
+		if qp.fencedAt(remote, wr.ID, OpWrite) {
+			return
+		}
 		rmr := remote.mrs[wr.RemoteKey]
 		if rmr == nil || wr.RemoteOffset < 0 || wr.RemoteOffset+wr.Len > len(rmr.Buf) {
 			panic(fmt.Sprintf("verbs: RDMA Write outside remote MR (rkey %d, off %d, len %d)",

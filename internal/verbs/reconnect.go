@@ -1,0 +1,95 @@
+package verbs
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rshuffle/internal/sim"
+	"rshuffle/internal/telemetry"
+)
+
+// ErrReconnectFailed reports that the connection manager exhausted its
+// reconnect budget without both directions of the link becoming reachable.
+var ErrReconnectFailed = errors.New("verbs: reconnect attempts exhausted")
+
+// ReconnectPolicy bounds the connection manager's re-establishment loop
+// after a peer-down event: each attempt probes the link with a control
+// round-trip and, on failure, backs off exponentially from BaseBackoff up
+// to MaxBackoff before the next probe.
+type ReconnectPolicy struct {
+	// MaxAttempts caps the number of probes (default 8).
+	MaxAttempts int
+	// BaseBackoff is the sleep after the first failed probe (default 50µs);
+	// it doubles per failure up to MaxBackoff (default 1ms).
+	BaseBackoff sim.Duration
+	MaxBackoff  sim.Duration
+}
+
+// Defaulted returns the policy with zero fields replaced by defaults.
+func (pol ReconnectPolicy) Defaulted() ReconnectPolicy {
+	if pol.MaxAttempts <= 0 {
+		pol.MaxAttempts = 8
+	}
+	if pol.BaseBackoff <= 0 {
+		pol.BaseBackoff = 50 * time.Microsecond
+	}
+	if pol.MaxBackoff <= 0 {
+		pol.MaxBackoff = time.Millisecond
+	}
+	return pol
+}
+
+// ReconnectRCPair re-establishes a reliable connection between devices a
+// and b after a peer-down event. Each attempt charges the calling process
+// one out-of-band control round-trip to probe the link; if either direction
+// is unreachable (node down or link cut) the loop backs off exponentially
+// and retries, up to pol.MaxAttempts. On success it clears the peer-down
+// verdict on both devices, creates a fresh QP pair, connects it (capturing
+// the peers' current boot epochs, so the new pair is fenced against any
+// future reboot), and charges the per-QP connection setup cost.
+//
+// The old, broken QPs are not touched: their pending completions flush with
+// WCPeerDown/WCFenced as usual, and the caller destroys them when drained.
+func ReconnectRCPair(p *sim.Proc, a, b *Device, cfgA, cfgB QPConfig, pol ReconnectPolicy) (*QP, *QP, error) {
+	if a.net != b.net {
+		panic("verbs: ReconnectRCPair across networks")
+	}
+	pol = pol.Defaulted()
+	net := a.net
+	prof := net.Prof
+	probeRTT := 2 * (prof.PropagationDelay + prof.SwitchDelay)
+	backoff := pol.BaseBackoff
+	for attempt := 1; attempt <= pol.MaxAttempts; attempt++ {
+		// Out-of-band probe: one control round-trip on the management lane.
+		p.Sleep(probeRTT)
+		now := net.Sim.Now()
+		if net.Reachable(a.node, b.node, now) && net.Reachable(b.node, a.node, now) {
+			a.NotifyPeerUp(b.node)
+			b.NotifyPeerUp(a.node)
+			qa := a.CreateQP(cfgA)
+			qb := b.CreateQP(cfgB)
+			if err := qa.Connect(b.node, qb.qpn); err != nil {
+				panic(fmt.Sprintf("verbs: reconnect connect: %v", err))
+			}
+			if err := qb.Connect(a.node, qa.qpn); err != nil {
+				panic(fmt.Sprintf("verbs: reconnect connect: %v", err))
+			}
+			p.Sleep(2 * prof.ConnSetupPerQP)
+			a.stats.Reconnects++
+			b.stats.Reconnects++
+			at := net.Sim.Now()
+			a.tr().Instant(at, telemetry.EvReconnect, int32(a.node), qa.cacheKey(), int64(b.node), int64(attempt))
+			b.tr().Instant(at, telemetry.EvReconnect, int32(b.node), qb.cacheKey(), int64(a.node), int64(attempt))
+			return qa, qb, nil
+		}
+		if attempt < pol.MaxAttempts {
+			p.Sleep(backoff)
+			backoff *= 2
+			if backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+		}
+	}
+	return nil, nil, ErrReconnectFailed
+}

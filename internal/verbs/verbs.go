@@ -63,6 +63,11 @@ const (
 	// declared the QP's peer dead (a disconnect/fatal async event in real
 	// verbs); it is more diagnosable than the generic flush status.
 	WCPeerDown
+	// WCFenced marks a work request rejected at the responder because the
+	// posting QP was connected under a stale boot epoch: the peer rebooted
+	// since, and its memory must not be touched by pre-reboot writers. The
+	// responder never executes the request (remote access error semantics).
+	WCFenced
 )
 
 func (s WCStatus) String() string {
@@ -77,6 +82,8 @@ func (s WCStatus) String() string {
 		return "WR flushed"
 	case WCPeerDown:
 		return "peer down"
+	case WCFenced:
+		return "fenced by stale epoch"
 	}
 	return "unknown"
 }
@@ -114,9 +121,16 @@ type Device struct {
 
 	// deadPeers records nodes the connection manager has declared dead;
 	// peerDownFns are the registered disconnect-event handlers, invoked in
-	// registration order.
+	// registration order; peerUpFns mirror them for reconnect events.
 	deadPeers   map[int]bool
 	peerDownFns []func(peer int)
+	peerUpFns   []func(peer int)
+
+	// epoch is this device's boot incarnation, starting at 1. The connection
+	// manager bumps it when the node reboots (its memory is gone); QPs
+	// capture the responder's epoch at Connect and the responder fences work
+	// requests carrying a stale one (see QP fencing in qp.go).
+	epoch uint64
 
 	// rl holds the active DCQCN rate limiters by local QPN (lossy tier
 	// only); a QP with no entry transmits at line rate. cnpLast coalesces
@@ -150,6 +164,11 @@ type DeviceStats struct {
 	// QPsCreated counts CreateQP calls; the telemetry layer derives the
 	// paper's Table 1 Queue Pair census from it.
 	QPsCreated int64
+	// StaleFenced counts work requests from stale-epoch Queue Pairs rejected
+	// at this device before touching its memory; Reconnects counts RC
+	// connections re-established after a peer-down event.
+	StaleFenced int64
+	Reconnects  int64
 }
 
 // Open returns the verbs context for the given node.
@@ -161,6 +180,7 @@ func Open(net *fabric.Network, node int) *Device {
 		mrs:   make(map[uint32]*MR),
 		mcast: make(map[uint32][]*QP),
 		rl:    make(map[uint32]*dcqcn),
+		epoch: 1,
 	}
 	d.memWake = net.Sim.NewCond(fmt.Sprintf("memwake@%d", node))
 	return d
@@ -198,6 +218,8 @@ func (d *Device) PublishMetrics(reg *telemetry.Registry) {
 		{"cnps_sent", d.stats.CNPsSent},
 		{"cnps_received", d.stats.CNPsReceived},
 		{"rate_cuts", d.stats.RateCuts},
+		{"stale_fenced", d.stats.StaleFenced},
+		{"reconnects", d.stats.Reconnects},
 	} {
 		reg.Counter(fmt.Sprintf("verbs.%s.node%d", it.name, d.node)).Add(it.v)
 		reg.Counter("verbs." + it.name + ".total").Add(it.v)
@@ -286,8 +308,45 @@ func (d *Device) DetachMulticast(qp *QP, mgid uint32) {
 // KickMemWaiters wakes every Proc blocked in WaitMemChange; see CQ.Kick.
 func (d *Device) KickMemWaiters() { d.memWake.Broadcast() }
 
+// Epoch returns this device's boot incarnation (1 at open).
+func (d *Device) Epoch() uint64 { return d.epoch }
+
+// BumpEpoch advances the device's boot epoch. The cluster's connection
+// manager calls it when the node's port returns from a reboot: the node's
+// memory is a fresh incarnation, and any Queue Pair still connected under
+// the old epoch is fenced at this responder before it can touch it.
+func (d *Device) BumpEpoch() {
+	d.epoch++
+	// Wake memory pollers: their world changed even though no write landed.
+	d.memWake.Broadcast()
+}
+
 // PeerDown reports whether the connection manager has declared node dead.
 func (d *Device) PeerDown(node int) bool { return d.deadPeers[node] }
+
+// OnPeerUp registers a connection-manager reconnect handler, invoked from
+// NotifyPeerUp in registration order from scheduler context; handlers must
+// not block.
+func (d *Device) OnPeerUp(fn func(peer int)) {
+	d.peerUpFns = append(d.peerUpFns, fn)
+}
+
+// NotifyPeerUp is the connection-manager reconnect event: it clears the
+// peer's dead mark so posting verbs stop failing fast with ErrPeerDown, and
+// invokes the registered OnPeerUp handlers. Queue Pairs errored by the
+// earlier NotifyPeerDown stay errored — reconnection rebuilds fresh pairs
+// (see ReconnectRCPair). Idempotent; runs in scheduler context.
+func (d *Device) NotifyPeerUp(peer int) {
+	if !d.deadPeers[peer] {
+		return
+	}
+	delete(d.deadPeers, peer)
+	d.tr().Instant(d.net.Sim.Now(), telemetry.EvPeerUp, int32(d.node), 0, int64(peer), 0)
+	for _, fn := range d.peerUpFns {
+		fn(peer)
+	}
+	d.memWake.Broadcast()
+}
 
 // OnPeerDown registers a connection-manager disconnect handler, invoked once
 // per dead peer in registration order from scheduler context; handlers must

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-full vet race fmt trace trace-rocev2 lossy-smoke partition-smoke fuzz-smoke bench bench-smoke bench-gate profile
+.PHONY: build test test-full vet race fmt trace trace-rocev2 lossy-smoke partition-smoke dag-smoke fuzz-smoke bench bench-smoke bench-gate profile
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,12 @@ lossy-smoke:
 # partitions than a full restart would.
 partition-smoke:
 	$(GO) test -race -run '^TestPartitionSmoke$$' -v ./internal/cluster/
+
+# Race-enabled DAG smoke: the multi-stage plan (partial agg → hash
+# re-shuffle → join → broadcast) through an attempt-zero RC outage and a
+# whole-plan restart, exercising the planner's recovery path.
+dag-smoke:
+	$(GO) test -race -run '^TestDagChaosSmoke$$' -v ./internal/dag/
 
 # Short fuzz smoke for the two fuzz targets (checked-in corpus plus a few
 # seconds of fresh coverage each). Go runs one -fuzz target per invocation,

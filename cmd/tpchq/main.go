@@ -1,5 +1,8 @@
 // Command tpchq runs TPC-H Q3, Q4, or Q10 on a simulated cluster with a
-// chosen shuffle transport, printing the response time and the result rows.
+// chosen shuffle transport, printing the response time, per-edge shuffle
+// statistics, and the result rows. Queries execute through the DAG
+// planner (internal/dag) by default; -handwired selects the original
+// hand-wired drivers, which produce byte-identical results.
 //
 // Usage:
 //
@@ -14,11 +17,9 @@ import (
 	"os"
 
 	"rshuffle/internal/cluster"
+	"rshuffle/internal/dag"
 	"rshuffle/internal/engine"
 	"rshuffle/internal/fabric"
-	"rshuffle/internal/ipoib"
-	"rshuffle/internal/mpi"
-	"rshuffle/internal/shuffle"
 	"rshuffle/internal/tpch"
 )
 
@@ -30,6 +31,7 @@ func main() {
 		transport = flag.String("transport", "mesq", "mesq, memq, semq, sesq, memq-rd, semq-rd, memq-wr, semq-wr, mpi, ipoib")
 		profile   = flag.String("profile", "edr", "cluster profile: fdr or edr")
 		local     = flag.Bool("local", false, "co-partitioned 'local data' plan (Q4 only)")
+		handwired = flag.Bool("handwired", false, "use the hand-wired drivers instead of the DAG planner")
 		seed      = flag.Int64("seed", 42, "simulation seed")
 	)
 	flag.Parse()
@@ -45,30 +47,9 @@ func main() {
 	}
 	prof.UDReorderProb = 0
 
-	var factory cluster.ProviderFactory
-	switch *transport {
-	case "mesq":
-		factory = cluster.RDMAProvider(shuffle.Config{Impl: shuffle.SQSR, Endpoints: prof.Threads})
-	case "sesq":
-		factory = cluster.RDMAProvider(shuffle.Config{Impl: shuffle.SQSR, Endpoints: 1})
-	case "memq":
-		factory = cluster.RDMAProvider(shuffle.Config{Impl: shuffle.MQSR, Endpoints: prof.Threads})
-	case "semq":
-		factory = cluster.RDMAProvider(shuffle.Config{Impl: shuffle.MQSR, Endpoints: 1})
-	case "memq-rd":
-		factory = cluster.RDMAProvider(shuffle.Config{Impl: shuffle.MQRD, Endpoints: prof.Threads})
-	case "semq-rd":
-		factory = cluster.RDMAProvider(shuffle.Config{Impl: shuffle.MQRD, Endpoints: 1})
-	case "memq-wr":
-		factory = cluster.RDMAProvider(shuffle.Config{Impl: shuffle.MQWR, Endpoints: prof.Threads})
-	case "semq-wr":
-		factory = cluster.RDMAProvider(shuffle.Config{Impl: shuffle.MQWR, Endpoints: 1})
-	case "mpi":
-		factory = cluster.MPIProvider(mpiConfig())
-	case "ipoib":
-		factory = cluster.IPoIBProvider(ipoibConfig())
-	default:
-		fatal("unknown transport %q", *transport)
+	factory, err := tpch.TransportFactory(*transport, prof.Threads)
+	if err != nil {
+		fatal("%v", err)
 	}
 
 	layout := tpch.Random
@@ -85,21 +66,37 @@ func main() {
 
 	c := cluster.New(prof, *nodes, 0, *seed)
 	var res *tpch.QueryResult
-	switch *q {
-	case 3:
-		res = tpch.RunQ3(c, db, factory)
-	case 4:
-		res = tpch.RunQ4(c, db, factory, *local)
-	case 10:
-		res = tpch.RunQ10(c, db, factory)
-	default:
-		fatal("query must be 3, 4 or 10")
+	var dr *dag.Result
+	if *handwired {
+		switch *q {
+		case 3:
+			res = tpch.RunQ3(c, db, factory)
+		case 4:
+			res = tpch.RunQ4(c, db, factory, *local)
+		case 10:
+			res = tpch.RunQ10(c, db, factory)
+		default:
+			fatal("query must be 3, 4 or 10")
+		}
+	} else {
+		var err error
+		res, dr, err = tpch.Run(c, db, *q, factory, *local)
+		if err != nil {
+			fatal("%v", err)
+		}
 	}
 	if res.Err != nil {
 		fatal("query failed: %v", res.Err)
 	}
 	fmt.Printf("Q%d on %d %s nodes over %s: %v (%d result rows)\n",
 		*q, *nodes, prof.Name, *transport, res.Elapsed, res.Rows)
+	if dr != nil {
+		fmt.Println("shuffle edges:")
+		for _, e := range dr.Edges {
+			fmt.Printf("  %-20s %-10s %9d rows %12d bytes %9d wqes\n",
+				e.Edge, e.Type, e.Rows, e.Bytes, e.WRs)
+		}
+	}
 	printRows(res.Result)
 }
 
@@ -128,6 +125,3 @@ func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(1)
 }
-
-func mpiConfig() mpi.Config     { return mpi.Config{} }
-func ipoibConfig() ipoib.Config { return ipoib.Config{} }

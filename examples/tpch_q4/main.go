@@ -1,7 +1,8 @@
 // TPC-H Q4 end to end: generate a distributed TPC-H database, run the
 // distributed Q4 plan over three transports (MESQ/SR, MPI, and the
 // co-partitioned "local data" plan), and compare response times — a
-// miniature of the paper's Figure 14.
+// miniature of the paper's Figure 14. Plans execute through the DAG
+// planner; the per-edge table shows what each exchange moved.
 package main
 
 import (
@@ -9,7 +10,6 @@ import (
 	"log"
 
 	"rshuffle"
-	"rshuffle/internal/cluster"
 	"rshuffle/internal/engine"
 	"rshuffle/internal/tpch"
 )
@@ -30,25 +30,35 @@ func main() {
 		db.NOrders, db.NLineitem, float64(db.Bytes())/(1<<20))
 
 	type runDef struct {
-		name    string
-		db      *tpch.DB
-		factory cluster.ProviderFactory
-		local   bool
+		name      string
+		db        *tpch.DB
+		transport string
+		local     bool
 	}
 	runs := []runDef{
-		{"MESQ/SR", db, rshuffle.RDMA(rshuffle.Config{Impl: rshuffle.SQSR, Endpoints: prof.Threads}), false},
-		{"MPI", db, rshuffle.MPI(), false},
-		{"local data", dbLocal, rshuffle.RDMA(rshuffle.Config{Impl: rshuffle.SQSR, Endpoints: prof.Threads}), true},
+		{"MESQ/SR", db, "mesq", false},
+		{"MPI", db, "mpi", false},
+		{"local data", dbLocal, "mesq", true},
 	}
 
 	var first *engine.Table
 	for _, r := range runs {
+		factory, err := tpch.TransportFactory(r.transport, prof.Threads)
+		if err != nil {
+			log.Fatalf("%s: %v", r.name, err)
+		}
 		c := rshuffle.NewCluster(prof, nodes, 0, 42)
-		res := tpch.RunQ4(c, r.db, r.factory, r.local)
+		res, dr, err := tpch.Run(c, r.db, 4, factory, r.local)
+		if err != nil {
+			log.Fatalf("%s: %v", r.name, err)
+		}
 		if res.Err != nil {
 			log.Fatalf("%s: %v", r.name, res.Err)
 		}
 		fmt.Printf("%-12s response time %10v (%d result rows)\n", r.name, res.Elapsed, res.Rows)
+		for _, e := range dr.Edges {
+			fmt.Printf("    %-16s %-9s %8d rows %11d bytes\n", e.Edge, e.Type, e.Rows, e.Bytes)
+		}
 		if first == nil {
 			first = res.Result
 			fmt.Println("  o_orderpriority  order_count")

@@ -1,8 +1,10 @@
-package cluster
+package cluster_test
 
 import (
 	"testing"
 
+	"rshuffle/internal/cluster"
+	"rshuffle/internal/dag"
 	"rshuffle/internal/fabric"
 	"rshuffle/internal/shuffle"
 )
@@ -12,15 +14,16 @@ import (
 // end to end — kernel scheduling, fabric modelling, and the shuffle
 // operators together — complementing the kernel micro-benchmarks in
 // internal/sim. The virtual-time results are deterministic; only wall time
-// and allocations are under test here.
+// and allocations are under test here. The package is cluster_test so the
+// DAG benchmark can import internal/dag without a cycle.
 
 func benchShuffle(b *testing.B, cfg shuffle.Config) {
 	b.ReportAllocs()
 	var events uint64
 	for i := 0; i < b.N; i++ {
-		c := New(fabric.FDR(), 4, 2, 42)
-		res, err := c.RunBench(BenchOpts{
-			Factory: RDMAProvider(cfg), RowsPerNode: 8192,
+		c := cluster.New(fabric.FDR(), 4, 2, 42)
+		res, err := c.RunBench(cluster.BenchOpts{
+			Factory: cluster.RDMAProvider(cfg), RowsPerNode: 8192,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -44,4 +47,27 @@ func BenchmarkShuffleMEMQRD(b *testing.B) {
 
 func BenchmarkShuffleMESQSR(b *testing.B) {
 	benchShuffle(b, shuffle.Config{Impl: shuffle.SQSR, Endpoints: 2})
+}
+
+// BenchmarkDAGMultiStage runs the three-shuffle multi-stage demo plan
+// (partial agg → hash re-shuffle → join → broadcast) end to end, covering
+// the DAG planner's wiring and per-edge bookkeeping on top of the same
+// simulator stack.
+func BenchmarkDAGMultiStage(b *testing.B) {
+	prof := fabric.FDR()
+	prof.UDReorderProb = 0
+	fact, dim := dag.DemoTables(4, 2000, 250, 7)
+	factory := cluster.RDMAProvider(shuffle.Config{Impl: shuffle.MQSR, Endpoints: 2})
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		c := cluster.New(prof, 4, 2, 42)
+		res := dag.MultiStageDemo(fact, dim).Run(c, factory)
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		events += c.Sim.Events()
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
 }

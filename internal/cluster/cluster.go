@@ -39,6 +39,16 @@ type Cluster struct {
 // Proc and must not block.
 func (c *Cluster) AtBenchStart(f func()) { c.onBenchStart = append(c.onBenchStart, f) }
 
+// FireBenchStart invokes the AtBenchStart callbacks. RunBench calls it when
+// the streaming phase begins; external schedulers that drive their own query
+// (the DAG runner) call it at the equivalent instant so fault harnesses
+// armed relative to the streaming phase work unchanged.
+func (c *Cluster) FireBenchStart() {
+	for _, f := range c.onBenchStart {
+		f()
+	}
+}
+
 // New boots a cluster of nodes over the given hardware profile. threads <= 0
 // selects the profile's default thread count.
 func New(prof fabric.Profile, nodes, threads int, seed int64) *Cluster {
@@ -322,9 +332,7 @@ func (c *Cluster) RunBench(opts BenchOpts) (*BenchResult, error) {
 		start := p.Now()
 		tr.End(start, telemetry.EvPhase, -1, 0, phaseSetup, 0)
 		tr.Begin(start, telemetry.EvPhase, -1, 0, phaseStream, 0)
-		for _, f := range c.onBenchStart {
-			f()
-		}
+		c.FireBenchStart()
 		done := c.Sim.NewWaitGroup("bench")
 		sends := make([]*shuffle.Shuffle, c.N)
 		recvs := make([]*shuffle.Receive, c.N)

@@ -77,6 +77,24 @@ func (s *Schema) Width() int { return s.width }
 // Offset returns the byte offset of column i within a row.
 func (s *Schema) Offset(i int) int { return s.offsets[i] }
 
+// Equal reports whether two schemas have the same column layout. The DAG
+// planner uses it to validate that a stage builds the same row shape on
+// every cluster node and that edge endpoints agree on the wire format.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == o {
+		return true
+	}
+	if s == nil || o == nil || len(s.Cols) != len(o.Cols) {
+		return false
+	}
+	for i, c := range s.Cols {
+		if o.Cols[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
 // Concat returns a schema with s's columns followed by o's.
 func (s *Schema) Concat(o *Schema) *Schema {
 	return NewSchema(append(append([]Type(nil), s.Cols...), o.Cols...)...)
@@ -202,4 +220,9 @@ func RowInt64(sch *Schema, row []byte, col int) int64 {
 // RowSetInt64 writes an int64 column into a raw row.
 func RowSetInt64(sch *Schema, row []byte, col int, v int64) {
 	binary.LittleEndian.PutUint64(row[sch.Offset(col):], uint64(v))
+}
+
+// RowFloat64 reads a float64 column from a raw row.
+func RowFloat64(sch *Schema, row []byte, col int) float64 {
+	return float64frombits(binary.LittleEndian.Uint64(row[sch.Offset(col):]))
 }

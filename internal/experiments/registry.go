@@ -39,6 +39,7 @@ var All = []Experiment{
 	{"ext-profile", "profiling: worker busy vs blocked fractions (§5.1.3)", single(ExtProfile)},
 	{"ext-skew", "study: Zipf-skewed partitioning keys", single(ExtSkew)},
 	{"ext-lossy", "extension: lossy RoCEv2 tier (PFC/ECN/DCQCN)", ExtLossy},
+	{"ext-dag", "extension: shuffle-aware DAG multi-stage plans (per-edge transports)", single(ExtDag)},
 }
 
 // Find returns the named experiment, or nil.

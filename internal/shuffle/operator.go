@@ -47,6 +47,13 @@ type Shuffle struct {
 	// Err records the first transport error; the query should restart.
 	Err error
 
+	// BufsSent counts transmission buffers handed to SEND across all
+	// threads, and SendWRs the send work requests those buffers cost at the
+	// operator level (one per destination per buffer — the census a DAG
+	// edge reports as its WQE cost; hardware multicast collapses the actual
+	// posted count below this, which the verbs layer accounts separately).
+	BufsSent, SendWRs int64
+
 	ctx *engine.Ctx
 	eps []SendEndpoint
 	out [][]*Buf // [tid][group] current output buffer
@@ -134,6 +141,8 @@ func (s *Shuffle) Next(p *sim.Proc, tid int) (*engine.Batch, engine.State) {
 						s.fail(err)
 						break
 					}
+					s.BufsSent++
+					s.SendWRs += int64(len(s.G[g]))
 					s.out[tid][g] = nil
 				}
 			}
@@ -157,6 +166,9 @@ func (s *Shuffle) Next(p *sim.Proc, tid int) (*engine.Batch, engine.State) {
 		}
 		if err := target.Send(p, cur, s.G[g]); err != nil {
 			s.fail(err)
+		} else {
+			s.BufsSent++
+			s.SendWRs += int64(len(s.G[g]))
 		}
 		s.out[tid][g] = nil
 	}

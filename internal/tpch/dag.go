@@ -1,0 +1,386 @@
+// Declarative TPC-H plans over the DAG execution graph. Each PlanQ*
+// builds the same operator trees, partition keys, and exchange patterns as
+// the hand-wired RunQ* drivers in queries.go, expressed as stages and
+// typed edges: the planner detects broadcast/hash/forward edges from the
+// stage shapes, and the gathering final fragment falls out of a
+// parallelism-1 stage. The two paths produce byte-identical result tables
+// (pinned by dag_test.go), so the hand-wired drivers remain as the
+// equivalence oracle while new experiments compose plans declaratively.
+package tpch
+
+import (
+	"fmt"
+
+	"rshuffle/internal/cluster"
+	"rshuffle/internal/dag"
+	"rshuffle/internal/engine"
+	"rshuffle/internal/ipoib"
+	"rshuffle/internal/mpi"
+	"rshuffle/internal/shuffle"
+)
+
+// TransportFactory maps a transport name — the -transport vocabulary of
+// cmd/tpchq, also used by the examples — to a provider factory for the
+// given worker thread count (the ME endpoint count).
+func TransportFactory(name string, threads int) (cluster.ProviderFactory, error) {
+	rdma := func(impl shuffle.Impl, endpoints int) (cluster.ProviderFactory, error) {
+		return cluster.RDMAProvider(shuffle.Config{Impl: impl, Endpoints: endpoints}), nil
+	}
+	switch name {
+	case "mesq":
+		return rdma(shuffle.SQSR, threads)
+	case "sesq":
+		return rdma(shuffle.SQSR, 1)
+	case "memq":
+		return rdma(shuffle.MQSR, threads)
+	case "semq":
+		return rdma(shuffle.MQSR, 1)
+	case "memq-rd":
+		return rdma(shuffle.MQRD, threads)
+	case "semq-rd":
+		return rdma(shuffle.MQRD, 1)
+	case "memq-wr":
+		return rdma(shuffle.MQWR, threads)
+	case "semq-wr":
+		return rdma(shuffle.MQWR, 1)
+	case "mpi":
+		return cluster.MPIProvider(mpi.Config{}), nil
+	case "ipoib":
+		return cluster.IPoIBProvider(ipoib.Config{}), nil
+	}
+	return nil, fmt.Errorf("tpch: unknown transport %q", name)
+}
+
+// RunPlan executes a declarative plan and adapts the result to the
+// QueryResult shape of the hand-wired drivers; the full dag.Result is
+// returned alongside for per-edge statistics.
+func RunPlan(c *cluster.Cluster, g *dag.Graph, f cluster.ProviderFactory) (*QueryResult, *dag.Result) {
+	r := g.Run(c, f)
+	return &QueryResult{Elapsed: r.Elapsed, Result: r.Result, Rows: r.Rows, Err: r.Err}, r
+}
+
+// Run executes TPC-H query q (3, 4, or 10) through the DAG planner —
+// the default execution path of cmd/tpchq and the examples. local selects
+// Q4's co-partitioned variant.
+func Run(c *cluster.Cluster, db *DB, q int, f cluster.ProviderFactory, local bool) (*QueryResult, *dag.Result, error) {
+	if local && q != 4 {
+		return nil, nil, fmt.Errorf("tpch: -local is only meaningful for Q4")
+	}
+	var g *dag.Graph
+	switch q {
+	case 3:
+		g = PlanQ3(db)
+	case 4:
+		g = PlanQ4(db, local)
+	case 10:
+		g = PlanQ10(db)
+	default:
+		return nil, nil, fmt.Errorf("tpch: query must be 3, 4 or 10")
+	}
+	qr, dr := RunPlan(c, g, f)
+	return qr, dr, nil
+}
+
+// q4OrdersIn is the filtered, projected ORDERS scan of Q4.
+func q4OrdersIn(db *DB, node int) engine.Operator {
+	return &engine.Project{
+		In: &engine.Filter{
+			In: &engine.Scan{T: db.Orders[node]},
+			Pred: func(b *engine.Batch, i int) bool {
+				d := b.Int64(i, OOrderDate)
+				return d >= Date(1993, 7, 1) && d < Date(1993, 10, 1)
+			},
+		},
+		Cols: []int{OOrderKey, OOrderPriority},
+	}
+}
+
+// q4LineIn is the late-lineitem scan of Q4.
+func q4LineIn(db *DB, node int) engine.Operator {
+	return &engine.Project{
+		In: &engine.Filter{
+			In: &engine.Scan{T: db.Lineitem[node]},
+			Pred: func(b *engine.Batch, i int) bool {
+				return b.Int64(i, LCommitDate) < b.Int64(i, LReceiptDate)
+			},
+		},
+		Cols: []int{LOrderKey},
+	}
+}
+
+// PlanQ4 builds TPC-H Q4 as a DAG. The distributed variant broadcasts the
+// filtered ORDERS columns into a semi join against local LINEITEM
+// (replicated edge → Broadcast), deduplicates matched orders with a hash
+// edge, and gathers per-priority counts on a parallelism-1 final stage.
+// The local variant drops both redistribution edges: the semi join runs
+// on co-partitioned data and chains forward into the per-priority count.
+func PlanQ4(db *DB, local bool) *dag.Graph {
+	g := dag.New()
+	var perprio *dag.Stage
+	if local {
+		match := g.AddStage(dag.Stage{
+			Name: "match",
+			Build: func(node int, in []engine.Operator) engine.Operator {
+				return &engine.HashJoin{
+					Build: q4OrdersIn(db, node), Probe: q4LineIn(db, node),
+					BuildKey: 0, ProbeKey: 0, Semi: true,
+				}
+			},
+		})
+		perprio = g.AddStage(dag.Stage{
+			Name: "perprio",
+			Build: func(node int, in []engine.Operator) engine.Operator {
+				return &engine.HashAgg{In: in[0], KeyCols: []int{1},
+					Aggs: []engine.AggSpec{{Kind: engine.AggCount}}}
+			},
+		})
+		g.Connect(match, perprio) // detected: Forward (co-partitioned chaining)
+	} else {
+		orders := g.AddStage(dag.Stage{
+			Name: "orders",
+			Build: func(node int, in []engine.Operator) engine.Operator {
+				return q4OrdersIn(db, node)
+			},
+		})
+		match := g.AddStage(dag.Stage{
+			Name: "match", Stateful: true,
+			Build: func(node int, in []engine.Operator) engine.Operator {
+				return &engine.HashJoin{
+					Build: in[0], Probe: q4LineIn(db, node),
+					BuildKey: 0, ProbeKey: 0, Semi: true,
+				}
+			},
+		})
+		g.Connect(orders, match, dag.WithReplicated()) // detected: Broadcast
+		perprio = g.AddStage(dag.Stage{
+			Name: "perprio", Stateful: true,
+			Build: func(node int, in []engine.Operator) engine.Operator {
+				// Broadcast-side semi joins can match one order on several
+				// nodes: deduplicate on (okey, priority) first.
+				return &engine.HashAgg{
+					In: &engine.HashAgg{In: in[0], KeyCols: []int{0, 1},
+						Aggs: []engine.AggSpec{{Kind: engine.AggCount}}},
+					KeyCols: []int{1},
+					Aggs:    []engine.AggSpec{{Kind: engine.AggCount}},
+				}
+			},
+		})
+		g.Connect(match, perprio, dag.WithKey(0)) // detected: Hash
+	}
+	final := g.AddStage(dag.Stage{
+		Name: "final", Parallelism: 1, Stateful: true,
+		Build: func(node int, in []engine.Operator) engine.Operator {
+			return &engine.TopN{
+				In: &engine.HashAgg{In: in[0], KeyCols: []int{0},
+					Aggs: []engine.AggSpec{sumCol(1)}},
+				Less: func(sch *engine.Schema, a, b []byte) bool {
+					return string(a[:16]) < string(b[:16]) // priority ascending
+				},
+			}
+		},
+	})
+	g.Connect(perprio, final, dag.WithKey(0)) // detected: Hash; par 1 gathers
+	return g
+}
+
+// PlanQ3 builds TPC-H Q3 as a DAG: CUSTOMER and ORDERS hash to the first
+// join on customer key, its projected output meets LINEITEM on order key,
+// and the grouped revenues gather into the top-ten stage.
+func PlanQ3(db *DB) *dag.Graph {
+	g := dag.New()
+	cust := g.AddStage(dag.Stage{
+		Name: "cust",
+		Build: func(node int, in []engine.Operator) engine.Operator {
+			return &engine.Project{
+				In: &engine.Filter{
+					In: &engine.Scan{T: db.Customer[node]},
+					Pred: func(b *engine.Batch, i int) bool {
+						return b.Int64(i, CMktSegment) == SegBuilding
+					},
+				},
+				Cols: []int{CCustKey},
+			}
+		},
+	})
+	ord := g.AddStage(dag.Stage{
+		Name: "ord",
+		Build: func(node int, in []engine.Operator) engine.Operator {
+			return &engine.Project{
+				In: &engine.Filter{
+					In: &engine.Scan{T: db.Orders[node]},
+					Pred: func(b *engine.Batch, i int) bool {
+						return b.Int64(i, OOrderDate) < Date(1995, 3, 15)
+					},
+				},
+				Cols: []int{OCustKey, OOrderKey, OOrderDate, OShipPriority},
+			}
+		},
+	})
+	join1 := g.AddStage(dag.Stage{
+		Name: "join1", Stateful: true,
+		Build: func(node int, in []engine.Operator) engine.Operator {
+			// (custkey) ++ (custkey, okey, odate, shippri); keep the order
+			// attributes and re-key on order key.
+			return &engine.Project{
+				In: &engine.HashJoin{
+					Build: in[0], Probe: in[1],
+					BuildKey: 0, ProbeKey: 0,
+				},
+				Cols: []int{2, 3, 4},
+			}
+		},
+	})
+	g.Connect(cust, join1, dag.WithKey(0))
+	g.Connect(ord, join1, dag.WithKey(0))
+	line := g.AddStage(dag.Stage{
+		Name: "line",
+		Build: func(node int, in []engine.Operator) engine.Operator {
+			return &engine.Project{
+				In: &engine.Filter{
+					In: &engine.Scan{T: db.Lineitem[node]},
+					Pred: func(b *engine.Batch, i int) bool {
+						return b.Int64(i, LShipDate) > Date(1995, 3, 15)
+					},
+				},
+				Cols: []int{LOrderKey, LExtendedPrice, LDiscount},
+			}
+		},
+	})
+	join2 := g.AddStage(dag.Stage{
+		Name: "join2", Stateful: true,
+		Build: func(node int, in []engine.Operator) engine.Operator {
+			// (okey, odate, shippri) ++ (okey, price, disc), grouped.
+			return &engine.HashAgg{
+				In: &engine.HashJoin{
+					Build: in[0], Probe: in[1],
+					BuildKey: 0, ProbeKey: 0,
+				},
+				KeyCols: []int{0, 1, 2},
+				Aggs:    []engine.AggSpec{revenue(4, 5)},
+			}
+		},
+	})
+	g.Connect(join1, join2, dag.WithKey(0))
+	g.Connect(line, join2, dag.WithKey(0))
+	final := g.AddStage(dag.Stage{
+		Name: "final", Parallelism: 1, Stateful: true,
+		Build: func(node int, in []engine.Operator) engine.Operator {
+			return &engine.TopN{
+				In: &engine.HashAgg{In: in[0], KeyCols: []int{0, 1, 2},
+					Aggs: []engine.AggSpec{sumCol(3)}},
+				N: 10,
+				Less: func(sch *engine.Schema, a, b []byte) bool {
+					fa := f64(engine.RowInt64(sch, a, 3))
+					fb := f64(engine.RowInt64(sch, b, 3))
+					if fa != fb {
+						return fa > fb // revenue descending
+					}
+					return engine.RowInt64(sch, a, 1) < engine.RowInt64(sch, b, 1)
+				},
+			}
+		},
+	})
+	g.Connect(join2, final, dag.WithKey(0))
+	return g
+}
+
+// PlanQ10 builds TPC-H Q10 as a DAG: ORDERS and LINEITEM hash to the
+// first join on order key, per-customer revenues meet the local
+// customer×nation join on customer key, and the grouped result gathers
+// into the top-twenty stage.
+func PlanQ10(db *DB) *dag.Graph {
+	g := dag.New()
+	ord := g.AddStage(dag.Stage{
+		Name: "ord",
+		Build: func(node int, in []engine.Operator) engine.Operator {
+			return &engine.Project{
+				In: &engine.Filter{
+					In: &engine.Scan{T: db.Orders[node]},
+					Pred: func(b *engine.Batch, i int) bool {
+						d := b.Int64(i, OOrderDate)
+						return d >= Date(1993, 10, 1) && d < Date(1994, 1, 1)
+					},
+				},
+				Cols: []int{OOrderKey, OCustKey},
+			}
+		},
+	})
+	line := g.AddStage(dag.Stage{
+		Name: "line",
+		Build: func(node int, in []engine.Operator) engine.Operator {
+			return &engine.Project{
+				In: &engine.Filter{
+					In: &engine.Scan{T: db.Lineitem[node]},
+					Pred: func(b *engine.Batch, i int) bool {
+						return b.Int64(i, LReturnFlag) == ReturnFlagR
+					},
+				},
+				Cols: []int{LOrderKey, LExtendedPrice, LDiscount},
+			}
+		},
+	})
+	join1 := g.AddStage(dag.Stage{
+		Name: "join1", Stateful: true,
+		Build: func(node int, in []engine.Operator) engine.Operator {
+			// (okey, custkey) ++ (okey, price, disc): pre-aggregate revenue
+			// per customer before re-keying on customer key.
+			return &engine.HashAgg{
+				In: &engine.HashJoin{
+					Build: in[0], Probe: in[1],
+					BuildKey: 0, ProbeKey: 0,
+				},
+				KeyCols: []int{1}, // custkey
+				Aggs:    []engine.AggSpec{revenue(3, 4)},
+			}
+		},
+	})
+	g.Connect(ord, join1, dag.WithKey(0))
+	g.Connect(line, join1, dag.WithKey(0))
+	cust := g.AddStage(dag.Stage{
+		Name: "cust",
+		Build: func(node int, in []engine.Operator) engine.Operator {
+			// Customer ⋈ NATION is local (NATION is replicated); output wide
+			// customer attributes keyed by custkey.
+			return &engine.Project{
+				In: &engine.HashJoin{
+					Build: &engine.Scan{T: db.Nation}, Probe: &engine.Scan{T: db.Customer[node]},
+					BuildKey: NNationKey, ProbeKey: CNationKey,
+				},
+				// nation(nk,name,rk) ++ customer(8 cols)
+				Cols: []int{3 + CCustKey, 3 + CName, 3 + CAcctBal, 3 + CPhone,
+					3 + CAddress, 3 + CComment, NName},
+			}
+		},
+	})
+	join2 := g.AddStage(dag.Stage{
+		Name: "join2", Stateful: true,
+		Build: func(node int, in []engine.Operator) engine.Operator {
+			// customer attrs ++ (custkey, revenue), grouped per customer.
+			return &engine.HashAgg{
+				In: &engine.HashJoin{
+					Build: in[1], Probe: in[0],
+					BuildKey: 0, ProbeKey: 0,
+				},
+				KeyCols: []int{0, 1, 2, 3, 4, 5, 6},
+				Aggs:    []engine.AggSpec{sumCol(8)},
+			}
+		},
+	})
+	g.Connect(join1, join2, dag.WithKey(0))
+	g.Connect(cust, join2, dag.WithKey(0))
+	final := g.AddStage(dag.Stage{
+		Name: "final", Parallelism: 1, Stateful: true,
+		Build: func(node int, in []engine.Operator) engine.Operator {
+			return &engine.TopN{
+				In: &engine.HashAgg{In: in[0], KeyCols: []int{0, 1, 2, 3, 4, 5, 6},
+					Aggs: []engine.AggSpec{sumCol(7)}},
+				N: 20,
+				Less: func(sch *engine.Schema, a, b []byte) bool {
+					return f64(engine.RowInt64(sch, a, 7)) > f64(engine.RowInt64(sch, b, 7))
+				},
+			}
+		},
+	})
+	g.Connect(join2, final, dag.WithKey(0))
+	return g
+}

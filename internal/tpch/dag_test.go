@@ -1,0 +1,113 @@
+package tpch
+
+import (
+	"bytes"
+	"testing"
+
+	"rshuffle/internal/cluster"
+)
+
+// TestDagPlansMatchHandWired pins the planner against the hand-wired
+// drivers: for Q3, Q4 (both layouts), and Q10, the declarative DAG plan
+// must produce a byte-identical result table on an identically seeded
+// cluster — same rows, same order, same float bits.
+func TestDagPlansMatchHandWired(t *testing.T) {
+	cases := []struct {
+		name   string
+		q      int
+		layout Layout
+		local  bool
+		seed   int64
+	}{
+		{"q3", 3, Random, false, 13},
+		{"q4", 4, Random, false, 11},
+		{"q4-local", 4, CoPartitioned, true, 11},
+		{"q10", 10, Random, false, 17},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			db := Generate(0.01, 4, tc.layout, tc.seed)
+
+			var hand *QueryResult
+			hc := cluster.New(quiet(), 4, 4, 5)
+			switch tc.q {
+			case 3:
+				hand = RunQ3(hc, db, testFactory())
+			case 4:
+				hand = RunQ4(hc, db, testFactory(), tc.local)
+			case 10:
+				hand = RunQ10(hc, db, testFactory())
+			}
+			if hand.Err != nil {
+				t.Fatalf("hand-wired: %v", hand.Err)
+			}
+
+			dc := cluster.New(quiet(), 4, 4, 5)
+			declarative, dr, err := Run(dc, db, tc.q, testFactory(), tc.local)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if declarative.Err != nil {
+				t.Fatalf("dag plan: %v", declarative.Err)
+			}
+
+			if declarative.Rows != hand.Rows {
+				t.Fatalf("rows = %d, hand-wired %d", declarative.Rows, hand.Rows)
+			}
+			if !declarative.Result.Sch.Equal(hand.Result.Sch) {
+				t.Fatal("result schemas differ")
+			}
+			if !bytes.Equal(declarative.Result.Data, hand.Result.Data) {
+				t.Fatal("result tables are not byte-identical")
+			}
+			// The plan must actually have moved data over typed edges.
+			var moved int64
+			for _, e := range dr.Edges {
+				moved += e.Rows
+			}
+			if moved == 0 {
+				t.Fatal("no rows crossed any DAG edge")
+			}
+		})
+	}
+}
+
+// TestDagQ4EdgeTypes checks detection picks the paper's exchange patterns
+// for Q4: broadcast for the semi-join build side, hash for dedup and
+// gather in the distributed plan; a forward chain in the local plan.
+func TestDagQ4EdgeTypes(t *testing.T) {
+	db := Generate(0.005, 4, Random, 3)
+	g := PlanQ4(db, false)
+	types := []string{}
+	for _, e := range g.Edges() {
+		types = append(types, e.ID()+":"+e.Type.String())
+	}
+	want := []string{"orders->match:broadcast", "match->perprio:hash", "perprio->final:hash"}
+	for i, w := range want {
+		if types[i] != w {
+			t.Errorf("edge %d = %s, want %s", i, types[i], w)
+		}
+	}
+
+	local := PlanQ4(Generate(0.005, 4, CoPartitioned, 3), true)
+	les := local.Edges()
+	if les[0].Type.String() != "forward" {
+		t.Errorf("local match->perprio = %s, want forward", les[0].Type)
+	}
+}
+
+// TestTransportFactory pins the name vocabulary shared by cmd/tpchq and
+// the examples.
+func TestTransportFactory(t *testing.T) {
+	for _, name := range []string{"mesq", "sesq", "memq", "semq",
+		"memq-rd", "semq-rd", "memq-wr", "semq-wr", "mpi", "ipoib"} {
+		f, err := TransportFactory(name, 4)
+		if err != nil || f == nil {
+			t.Errorf("TransportFactory(%q) = %v, %v", name, f, err)
+		}
+	}
+	if _, err := TransportFactory("bogus", 4); err == nil {
+		t.Error("unknown transport accepted")
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-full vet race fmt trace trace-rocev2 lossy-smoke partition-smoke dag-smoke fuzz-smoke bench bench-smoke bench-gate profile
+.PHONY: build test test-full vet race fmt trace trace-rocev2 lossy-smoke partition-smoke dag-smoke pdes-smoke fuzz-smoke bench bench-smoke bench-gate profile
 
 build:
 	$(GO) build ./...
@@ -68,13 +68,21 @@ partition-smoke:
 dag-smoke:
 	$(GO) test -race -run '^TestDagChaosSmoke$$' -v ./internal/dag/
 
-# Short fuzz smoke for the two fuzz targets (checked-in corpus plus a few
+# Race-enabled PDES equivalence smoke: all six Table 1 designs plus a
+# crash-stop chaos cell at 1, 2, and 8 logical partitions; every output
+# fingerprint (result, metrics report, merged trace) must be byte-identical
+# across LP counts.
+pdes-smoke:
+	$(GO) test -race -run '^TestPDES' -v ./internal/cluster/
+
+# Short fuzz smoke for the fuzz targets (checked-in corpus plus a few
 # seconds of fresh coverage each). Go runs one -fuzz target per invocation,
 # so the packages are fuzzed back to back.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzFaultPlanValidation$$' -fuzztime $(FUZZTIME) ./internal/fabric/
 	$(GO) test -run '^$$' -fuzz '^FuzzTimerWheel$$' -fuzztime $(FUZZTIME) ./internal/sim/
+	$(GO) test -run '^$$' -fuzz '^FuzzWindowMerge$$' -fuzztime $(FUZZTIME) ./internal/sim/
 
 # Wall-clock benchmarks: kernel micro (events/sec, ns/dispatch, allocs/event)
 # plus whole-query macro, exported as BENCH_sim.json for regression tracking.

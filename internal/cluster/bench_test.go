@@ -49,6 +49,40 @@ func BenchmarkShuffleMESQSR(b *testing.B) {
 	benchShuffle(b, shuffle.Config{Impl: shuffle.SQSR, Endpoints: 2})
 }
 
+// benchShuffleLPs runs a 64-node whole-query benchmark on the PDES engine
+// at a fixed logical-partition count. The four LP variants together are the
+// parallel-speedup oracle: virtual-time results are byte-identical across
+// them (the equivalence matrix pins that), so any ns/op difference is pure
+// engine wall-clock — windowing overhead at LP1, scaling at LP2..8. Real
+// speedup needs real cores: on a single-core host the wide path degrades to
+// serial window execution and the variants converge.
+func benchShuffleLPs(b *testing.B, lps int) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		c := cluster.NewWithOptions(fabric.FDR(), 64, 2, 42,
+			cluster.SimOptions{ParallelLPs: lps})
+		res, err := c.RunBench(cluster.BenchOpts{
+			Factory:     cluster.RDMAProvider(shuffle.Config{Impl: shuffle.MQSR, Endpoints: 2}),
+			RowsPerNode: 2048,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		events += c.Events()
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+}
+
+func BenchmarkShuffleWide64LP1(b *testing.B) { benchShuffleLPs(b, 1) }
+func BenchmarkShuffleWide64LP2(b *testing.B) { benchShuffleLPs(b, 2) }
+func BenchmarkShuffleWide64LP4(b *testing.B) { benchShuffleLPs(b, 4) }
+func BenchmarkShuffleWide64LP8(b *testing.B) { benchShuffleLPs(b, 8) }
+
 // BenchmarkDAGMultiStage runs the three-shuffle multi-stage demo plan
 // (partial agg → hash re-shuffle → join → broadcast) end to end, covering
 // the DAG planner's wiring and per-edge bookkeeping on top of the same

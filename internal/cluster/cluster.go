@@ -19,8 +19,13 @@ import (
 // Cluster is one simulated cluster instance. Create a fresh Cluster per
 // experiment run; the embedded Simulation is single-use.
 type Cluster struct {
-	Sim     *sim.Simulation
-	Net     *fabric.Network
+	Sim *sim.Simulation
+	Net *fabric.Network
+	// Group is the logical-partition coordinator when the cluster runs with
+	// parallel discrete-event execution (NewWithOptions with ParallelLPs >
+	// 0); nil on the classic single-simulation path. When set, Sim is the
+	// control partition's simulation.
+	Group   *sim.Group
 	Devs    []*verbs.Device
 	N       int
 	Threads int
@@ -63,19 +68,88 @@ func New(prof fabric.Profile, nodes, threads int, seed int64) *Cluster {
 	}
 }
 
-// Ctx returns an operator context for one node's fragment.
+// SimOptions selects the simulation execution engine for a cluster.
+type SimOptions struct {
+	// ParallelLPs > 0 partitions the run across that many logical partitions
+	// executed with conservative lookahead-windowed parallelism (see
+	// internal/sim/pdes.go). Node state is spread over the partitions in
+	// contiguous blocks and cross-node interactions ride routed mailboxes, so
+	// a given seed produces byte-identical results at every LP count —
+	// ParallelLPs 1 is the reference serial ordering of the same engine. 0
+	// keeps the classic single-simulation engine, byte-for-byte unchanged.
+	// Values above the node count are clamped.
+	ParallelLPs int
+}
+
+// NewWithOptions boots a cluster like New, with an explicit choice of
+// simulation engine. Partitioned execution requires a lossless profile and
+// supports fault plans whose rules are pure time-window checks (crashes,
+// partitions); probabilistic loss draws would couple partitions through a
+// shared RNG stream.
+func NewWithOptions(prof fabric.Profile, nodes, threads int, seed int64, opts SimOptions) *Cluster {
+	if opts.ParallelLPs <= 0 {
+		return New(prof, nodes, threads, seed)
+	}
+	if threads <= 0 {
+		threads = prof.Threads
+	}
+	g := sim.NewGroup(seed, opts.ParallelLPs, nodes, prof.RouteLatency())
+	net := fabric.NewPartitioned(g, prof, nodes, seed)
+	return &Cluster{
+		Sim: net.Sim, Net: net, Group: g, Devs: verbs.OpenAll(net),
+		N: nodes, Threads: threads,
+	}
+}
+
+// Ctx returns an operator context for one node's fragment. The fragment's
+// Procs run on the simulation owning the node — its partition on a
+// partitioned cluster, the shared simulation otherwise.
 func (c *Cluster) Ctx(node int) *engine.Ctx {
-	return &engine.Ctx{S: c.Sim, Prof: &c.Net.Prof, Threads: c.Threads, Node: node}
+	return &engine.Ctx{S: c.Net.SimAt(node), Prof: &c.Net.Prof, Threads: c.Threads, Node: node}
+}
+
+// Events returns the total number of simulation events fired, summed across
+// partitions on a partitioned cluster.
+func (c *Cluster) Events() uint64 {
+	if c.Group != nil {
+		return c.Group.Events()
+	}
+	return c.Sim.Events()
 }
 
 // EnableTracing attaches a fresh event tracer holding at most capacity
 // events to the cluster's fabric; every layer (fabric, verbs, shuffle,
 // detector) reaches it through Network.Tracer. It returns the tracer for
 // export after the run.
+// On a partitioned cluster each node gets its own shard (plus one for
+// control) so emission never crosses partitions; read the merged stream with
+// Trace. The returned tracer is the control shard in that case.
 func (c *Cluster) EnableTracing(capacity int) *telemetry.Tracer {
+	if c.Group != nil {
+		shards := make([]*telemetry.Tracer, c.N+1)
+		for i := range shards {
+			shards[i] = telemetry.NewTracer(capacity)
+		}
+		c.Net.SetTracerShards(shards)
+		return shards[c.N]
+	}
 	t := telemetry.NewTracer(capacity)
 	c.Net.SetTracer(t)
 	return t
+}
+
+// Trace returns the run's trace events in one deterministic stream: the
+// single tracer's events on the classic path, the per-node shards merged by
+// (time, shard, emission order) — and renumbered — on a partitioned cluster.
+// Returns nil when tracing was never enabled.
+func (c *Cluster) Trace() []telemetry.Event {
+	if c.Group != nil {
+		return telemetry.MergeShards(c.Net.TraceShards())
+	}
+	if t := c.Net.Tracer(); t != nil {
+		return t.Events()
+	}
+	return nil
 }
 
 // Metrics scrapes the whole stack into a fresh registry: every fabric NIC
@@ -318,7 +392,7 @@ func (c *Cluster) RunBench(opts BenchOpts) (*BenchResult, error) {
 	sch := tables[0].Sch
 
 	c.Sim.Spawn("bench", func(p *sim.Proc) {
-		tr := c.Net.Tracer()
+		tr := c.Net.TracerAt(-1)
 		tr.Begin(p.Now(), telemetry.EvPhase, -1, 0, phaseSetup, 0)
 		prov := opts.Factory(p, c)
 		if comm, ok := prov.(*shuffle.Comm); ok {
@@ -334,6 +408,19 @@ func (c *Cluster) RunBench(opts BenchOpts) (*BenchResult, error) {
 		tr.Begin(start, telemetry.EvPhase, -1, 0, phaseStream, 0)
 		c.FireBenchStart()
 		done := c.Sim.NewWaitGroup("bench")
+		// The WaitGroup lives on the control partition; a worker fragment's
+		// completion is a control message — on a partitioned run it routes
+		// home like any other cross-node interaction, paying one route
+		// latency, so the join instant is identical at every LP count.
+		finish := func(node int) func(*sim.Proc) {
+			if c.Group == nil {
+				return func(*sim.Proc) { done.Done() }
+			}
+			return func(*sim.Proc) {
+				at := c.Net.SimAt(node).Now().Add(c.Net.Prof.RouteLatency())
+				c.Net.Route(node, c.N, at, func() { done.Done() })
+			}
+		}
 		sends := make([]*shuffle.Shuffle, c.N)
 		recvs := make([]*shuffle.Receive, c.N)
 		sendSinks := make([]*engine.Sink, c.N)
@@ -349,7 +436,7 @@ func (c *Cluster) RunBench(opts BenchOpts) (*BenchResult, error) {
 			sendSink := &engine.Sink{In: sends[a]}
 			sendSinks[a] = sendSink
 			done.Add(1)
-			sendSink.Run(c.Ctx(a), fmt.Sprintf("send%d", a), func(p *sim.Proc) { done.Done() })
+			sendSink.Run(c.Ctx(a), fmt.Sprintf("send%d", a), finish(a))
 
 			bt := 0
 			if opts.ReceiveBatchBytes > 0 {
@@ -368,15 +455,31 @@ func (c *Cluster) RunBench(opts BenchOpts) (*BenchResult, error) {
 			recvSink := &engine.Sink{In: top}
 			recvSinks[a] = recvSink
 			done.Add(1)
-			recvSink.Run(c.Ctx(a), fmt.Sprintf("recv%d", a), func(p *sim.Proc) { done.Done() })
+			recvSink.Run(c.Ctx(a), fmt.Sprintf("recv%d", a), finish(a))
+		}
+		if c.Group != nil {
+			// Setup reached across partitions freely (fused lockstep); from
+			// the next barrier on, the streaming phase runs wide — every
+			// partition executes its lookahead window in parallel.
+			c.Group.GoWide()
 		}
 		c.Sim.Spawn("bench-join", func(p *sim.Proc) {
 			done.Wait(p)
+			// The query ends the instant the last finish() lands, before any
+			// engine rejoin: Fuse parks this Proc across a barrier and resumes
+			// it two lookahead intervals later, so reading the clock after it
+			// would fold engine bookkeeping into Elapsed.
+			end := p.Now()
+			if c.Group != nil {
+				// Rejoin lockstep before reading worker-side state: sinks,
+				// receive counters, NIC stats all live on other partitions.
+				c.Group.Fuse(p)
+			}
 			if c.FD != nil {
 				c.FD.Stop()
 			}
-			res.Elapsed = p.Now().Sub(start)
-			tr.End(p.Now(), telemetry.EvPhase, -1, 0, phaseStream, 0)
+			res.Elapsed = end.Sub(start)
+			tr.End(end, telemetry.EvPhase, -1, 0, phaseStream, 0)
 			final := c.Net.SnapshotStats()
 			res.StreamNIC = make([]fabric.NICStats, len(final))
 			for i := range final {
@@ -411,7 +514,11 @@ func (c *Cluster) RunBench(opts BenchOpts) (*BenchResult, error) {
 			}
 		})
 	})
-	if err := c.Sim.Run(); err != nil {
+	if c.Group != nil {
+		if err := c.Group.Run(); err != nil {
+			return nil, err
+		}
+	} else if err := c.Sim.Run(); err != nil {
 		return nil, err
 	}
 	c.Recycle()
@@ -431,6 +538,10 @@ func (c *Cluster) RunBench(opts BenchOpts) (*BenchResult, error) {
 func (c *Cluster) Recycle() {
 	for _, d := range c.Devs {
 		d.RecycleMRs()
+	}
+	if c.Group != nil {
+		c.Group.Shutdown()
+		return
 	}
 	c.Sim.Shutdown()
 }

@@ -104,6 +104,21 @@ func (c *Cluster) InstallDetector(cfg DetectorConfig) *Detector {
 // no-op and nothing further is scheduled.
 func (d *Detector) Stop() { d.stopped = true }
 
+// notify delivers a connection-manager verdict (peer-down, peer-up, epoch
+// bump) to node's device. The detector itself is control-partition state; on
+// a partitioned cluster the verdict rides a routed management message to the
+// node's partition — a device is only ever touched by its own partition —
+// arriving one route latency after the tick, at any LP count. The classic
+// path keeps the historical synchronous call.
+func (d *Detector) notify(node int, fn func()) {
+	c := d.c
+	if c.Group == nil {
+		fn()
+		return
+	}
+	c.Net.Route(c.N, node, c.Sim.Now().Add(c.Net.Prof.RouteLatency()), fn)
+}
+
 func (d *Detector) schedule() {
 	d.c.Sim.After(d.cfg.Period, func() {
 		if d.stopped {
@@ -125,7 +140,7 @@ func (d *Detector) schedule() {
 func (d *Detector) step() {
 	now := d.c.Sim.Now()
 	net := d.c.Net
-	net.Tracer().Instant(now, telemetry.EvFDTick, -1, 0, int64(d.Detections), 0)
+	net.TracerAt(-1).Instant(now, telemetry.EvFDTick, -1, 0, int64(d.Detections), 0)
 	wire := net.Prof.PropagationDelay + net.Prof.SwitchDelay
 	sent := now.Add(-wire)
 	if sent < 0 {
@@ -138,7 +153,8 @@ func (d *Detector) step() {
 	for j := 0; j < d.c.N; j++ {
 		down := net.Down(j, now)
 		if d.prevDown[j] && !down {
-			d.c.Devs[j].BumpEpoch()
+			dev := d.c.Devs[j]
+			d.notify(j, func() { dev.BumpEpoch() })
 		}
 		d.prevDown[j] = down
 	}
@@ -155,7 +171,8 @@ func (d *Detector) step() {
 					// advance the view, and let the connection manager re-arm.
 					d.suspected[i][j] = false
 					d.viewEpoch[i]++
-					d.c.Devs[i].NotifyPeerUp(j)
+					dev, peer := d.c.Devs[i], j
+					d.notify(i, func() { dev.NotifyPeerUp(peer) })
 				}
 				continue
 			}
@@ -165,13 +182,14 @@ func (d *Detector) step() {
 			d.suspected[i][j] = true
 			d.viewEpoch[i]++
 			d.Detections++
-			net.Tracer().Instant(now, telemetry.EvSuspect, int32(i), 0, int64(j), 0)
+			net.TracerAt(-1).Instant(now, telemetry.EvSuspect, int32(i), 0, int64(j), 0)
 			if dt, ok := net.DownTime(j); ok && dt <= now {
 				if lat := now.Sub(dt); lat > d.MaxDetectionLatency {
 					d.MaxDetectionLatency = lat
 				}
 			}
-			d.c.Devs[i].NotifyPeerDown(j)
+			dev, peer := d.c.Devs[i], j
+			d.notify(i, func() { dev.NotifyPeerDown(peer) })
 		}
 	}
 	d.lastTick = now

@@ -29,6 +29,25 @@ type Options struct {
 	// its own deterministic Simulation and parallelism only moves wall-clock
 	// time (see pool.go).
 	Workers int
+	// ParallelLPs > 0 runs each whole-query cell on the conservative PDES
+	// engine with that many logical partitions (see internal/sim/pdes.go);
+	// results stay byte-identical at every LP count. Complementary to
+	// Workers: cell-parallel sweeps spread *independent* simulations over
+	// cores, LP-parallelism spreads *one big* simulation — combine with
+	// Workers=1 to give a single large run the whole machine. Lossy-profile
+	// cells ignore the setting (the partitioned fabric is lossless-only).
+	ParallelLPs int
+}
+
+// newCluster boots one experiment cell, on the PDES engine when the run
+// asked for logical partitions and the profile allows it.
+func (o Options) newCluster(prof fabric.Profile, nodes, threads int, seed int64) *cluster.Cluster {
+	lps := o.ParallelLPs
+	if prof.Lossy {
+		lps = 0
+	}
+	return cluster.NewWithOptions(prof, nodes, threads, seed,
+		cluster.SimOptions{ParallelLPs: lps})
 }
 
 // fills is the steady-state target: how many times each (thread,
@@ -172,7 +191,7 @@ func (o Options) workloadFor(cfg shuffle.Config, prof fabric.Profile, nodes int,
 func (o Options) runThroughput(prof fabric.Profile, cfg shuffle.Config, nodes int, groups shuffle.Groups, seedOff int64) (*cluster.BenchResult, error) {
 	cfg = tuneRecvWindow(cfg, prof, nodes)
 	rows, passes := o.workloadFor(cfg, prof, nodes, groups)
-	c := cluster.New(quiet(prof), nodes, 0, o.Seed+seedOff)
+	c := o.newCluster(quiet(prof), nodes, 0, o.Seed+seedOff)
 	res, err := c.RunBench(cluster.BenchOpts{
 		Factory:     cluster.RDMAProvider(cfg),
 		RowsPerNode: rows,
@@ -190,7 +209,7 @@ func (o Options) runThroughput(prof fabric.Profile, cfg shuffle.Config, nodes in
 
 // runFactory is runThroughput for non-RDMA transports.
 func (o Options) runFactory(prof fabric.Profile, f cluster.ProviderFactory, nodes, rows, passes int, groups shuffle.Groups, seedOff int64) (*cluster.BenchResult, error) {
-	c := cluster.New(quiet(prof), nodes, 0, o.Seed+seedOff)
+	c := o.newCluster(quiet(prof), nodes, 0, o.Seed+seedOff)
 	res, err := c.RunBench(cluster.BenchOpts{
 		Factory: f, RowsPerNode: rows, Passes: passes, Groups: groups,
 	})

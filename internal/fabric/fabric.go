@@ -188,6 +188,10 @@ type Network struct {
 	// fast-path conditions hold (SetArrivalBatching). The equivalence test
 	// uses it to A/B the two paths at the same seed.
 	batchOff bool
+
+	// part is the PDES partition state (see pdes.go); nil on the legacy
+	// single-simulation path.
+	part *partition
 }
 
 // pendingArrival is one queued fast-path arrival: everything the arrival
@@ -239,6 +243,9 @@ func (n *Network) Tracer() *telemetry.Tracer { return n.tr }
 // drives this switch and pins the two paths identical where no such ties
 // arise.
 func (n *Network) SetArrivalBatching(on bool) {
+	if n.part != nil {
+		return // partitioned runs always use the exact per-message path
+	}
 	if !on {
 		n.flushPending()
 	}
@@ -376,10 +383,13 @@ func (n *Network) touch(nc *nic, qp uint64) sim.Duration {
 		return 0
 	}
 	nc.stats.QPCacheMisses++
-	n.tr.Instant(n.Sim.Now(), telemetry.EvQPCacheMiss, int32(nc.id), qp, 0, 0)
+	// The touched NIC's owner is always the executing partition, so its
+	// shard and clock are the right emission context.
+	tr, now := n.TracerAt(nc.id), n.SimAt(nc.id).Now()
+	tr.Instant(now, telemetry.EvQPCacheMiss, int32(nc.id), qp, 0, 0)
 	if evicted {
 		nc.stats.QPCacheEvictions++
-		n.tr.Instant(n.Sim.Now(), telemetry.EvQPCacheEvict, int32(nc.id), qp, int64(victim), 0)
+		tr.Instant(now, telemetry.EvQPCacheEvict, int32(nc.id), qp, int64(victim), 0)
 	}
 	return n.Prof.QPCacheMissPenalty
 }
@@ -457,7 +467,11 @@ func (n *Network) Transmit(m *Message) {
 	wire := prof.WireBytes(m.Payload, m.Service)
 	control := wire <= ControlThreshold
 
-	now := n.Sim.Now()
+	// Transmit executes on the source node's partition; everything up to the
+	// arrival hand-off uses its clock, tracer shard, and RNG stream. On the
+	// legacy path these are the shared Sim/tr/RNG and nothing changes.
+	ssim := n.SimAt(m.From)
+	now := ssim.Now()
 	bw := prof.LinkBandwidth
 	if !n.faults.Empty() {
 		// A paused NIC freezes its engines: nothing starts serializing until
@@ -507,13 +521,15 @@ func (n *Network) Transmit(m *Message) {
 	} else {
 		src.stats.TxDataBytes += int64(wire)
 	}
-	n.tr.Instant(txDone, telemetry.EvWire, int32(m.From), m.FromQP, int64(wire), lane)
+	n.TracerAt(m.From).Instant(txDone, telemetry.EvWire, int32(m.From), m.FromQP, int64(wire), lane)
 	if m.Sent != nil {
-		n.Sim.At(txDone, func() { m.Sent(n.Sim.Now()) })
+		ssim.At(txDone, func() { m.Sent(ssim.Now()) })
 	}
 
 	// Loss and reordering decisions are made now so the whole computation
-	// stays a pure function of the RNG stream (deterministic).
+	// stays a pure function of the RNG stream (deterministic). The draws
+	// come from the sender's stream, which advances only in the sender's
+	// own causal order — invariant across LP counts.
 	lost, corrupted := false, false
 	if !n.faults.Empty() {
 		switch {
@@ -528,12 +544,12 @@ func (n *Network) Transmit(m *Message) {
 			corrupted = n.faults.drop(FaultCorrupt, m.From, m.To, now)
 		}
 	}
-	if !lost && m.Service == UD && prof.UDLossRate > 0 && n.Sim.Rand().Float64() < prof.UDLossRate {
+	if !lost && m.Service == UD && prof.UDLossRate > 0 && n.rngAt(m.From).Float64() < prof.UDLossRate {
 		lost = true
 	}
 	var jitter sim.Duration
-	if m.Service == UD && prof.UDReorderProb > 0 && n.Sim.Rand().Float64() < prof.UDReorderProb {
-		jitter = sim.Duration(n.Sim.Rand().Int63n(int64(prof.UDReorderJitter) + 1))
+	if m.Service == UD && prof.UDReorderProb > 0 && n.rngAt(m.From).Float64() < prof.UDReorderProb {
+		jitter = sim.Duration(n.rngAt(m.From).Int63n(int64(prof.UDReorderJitter) + 1))
 	}
 
 	// The message reaches the destination switch port after propagation and
@@ -553,7 +569,9 @@ func (n *Network) Transmit(m *Message) {
 			jitter: jitter, control: control})
 		return
 	}
-	n.Sim.At(arrive, func() {
+	n.Route(m.From, m.To, arrive, func() {
+		// From here on the computation executes on the receiver's partition.
+		dsim, dtr := n.SimAt(m.To), n.TracerAt(m.To)
 		// A dark endpoint port (crash or reboot window) or a partitioned link
 		// kills the message on the wire regardless of class: unlike
 		// FaultRCLoss this also swallows infrastructure transfers (nil
@@ -561,7 +579,7 @@ func (n *Network) Transmit(m *Message) {
 		// sender's outage is judged at serialization time, the receiver's and
 		// the link's at arrival.
 		if !lost && !n.faults.Empty() &&
-			n.faults.severed(m.From, m.To, now, n.Sim.Now()) {
+			n.faults.severed(m.From, m.To, now, dsim.Now()) {
 			lost = true
 		}
 		if lost {
@@ -570,13 +588,13 @@ func (n *Network) Transmit(m *Message) {
 			} else {
 				dst.stats.RCDropped++
 			}
-			n.tr.Instant(n.Sim.Now(), telemetry.EvDrop, int32(m.To), m.ToQP, int64(m.Payload), lane)
+			dtr.Instant(dsim.Now(), telemetry.EvDrop, int32(m.To), m.ToQP, int64(m.Payload), lane)
 			if m.Dropped != nil {
 				m.Dropped()
 			}
 			return
 		}
-		rnow := n.Sim.Now()
+		rnow := dsim.Now()
 		if !n.faults.Empty() {
 			rnow = n.faults.pausedUntil(m.To, rnow)
 		}
@@ -593,7 +611,7 @@ func (n *Network) Transmit(m *Message) {
 				} else {
 					dst.stats.RCDropped++
 				}
-				n.tr.Instant(rnow, telemetry.EvTailDrop, int32(m.To), m.ToQP, int64(m.Payload), udBit)
+				dtr.Instant(rnow, telemetry.EvTailDrop, int32(m.To), m.ToQP, int64(m.Payload), udBit)
 				if m.Dropped != nil {
 					m.Dropped()
 				}
@@ -641,9 +659,9 @@ func (n *Network) Transmit(m *Message) {
 			dst.stats.RxDataBytes += int64(wire)
 		}
 		if marked && n.onECN != nil {
-			n.Sim.At(rxDone, func() { n.onECN(m.From, m.To, m.FromQP, m.ToQP) })
+			dsim.At(rxDone, func() { n.onECN(m.From, m.To, m.FromQP, m.ToQP) })
 		}
-		n.Sim.At(rxDone.Add(jitter), func() { m.Deliver(n.Sim.Now()) })
+		dsim.At(rxDone.Add(jitter), func() { m.Deliver(dsim.Now()) })
 	})
 }
 
@@ -813,7 +831,8 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 	src := n.nics[m.From]
 	wire := prof.WireBytes(m.Payload, UD)
 
-	now := n.Sim.Now()
+	ssim := n.SimAt(m.From)
+	now := ssim.Now()
 	if !n.faults.Empty() {
 		now = n.faults.pausedUntil(m.From, now)
 	}
@@ -834,9 +853,9 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 	src.stats.TxBytes += int64(m.Payload)
 	src.stats.TxWireBytes += int64(wire)
 	src.stats.TxDataBytes += int64(wire)
-	n.tr.Instant(txDone, telemetry.EvWire, int32(m.From), m.FromQP, int64(wire), 0)
+	n.TracerAt(m.From).Instant(txDone, telemetry.EvWire, int32(m.From), m.FromQP, int64(wire), 0)
 	if m.Sent != nil {
-		n.Sim.At(txDone, func() { m.Sent(n.Sim.Now()) })
+		ssim.At(txDone, func() { m.Sent(ssim.Now()) })
 	}
 
 	// A dark sender port (crash or reboot window) keeps the packet off the
@@ -850,35 +869,36 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 				continue
 			}
 			// The switch loops the packet back to an attached sender port.
-			n.Sim.At(txDone, func() { deliver(d, n.Sim.Now()) })
+			ssim.At(txDone, func() { deliver(d, ssim.Now()) })
 			continue
 		}
 		lost := senderDown
 		if !lost && !n.faults.Empty() && n.faults.drop(FaultUDLoss, m.From, d, now) {
 			lost = true
-		} else if !lost && prof.UDLossRate > 0 && n.Sim.Rand().Float64() < prof.UDLossRate {
+		} else if !lost && prof.UDLossRate > 0 && n.rngAt(m.From).Float64() < prof.UDLossRate {
 			lost = true
 		}
 		var jitter sim.Duration
-		if prof.UDReorderProb > 0 && n.Sim.Rand().Float64() < prof.UDReorderProb {
-			jitter = sim.Duration(n.Sim.Rand().Int63n(int64(prof.UDReorderJitter) + 1))
+		if prof.UDReorderProb > 0 && n.rngAt(m.From).Float64() < prof.UDReorderProb {
+			jitter = sim.Duration(n.rngAt(m.From).Int63n(int64(prof.UDReorderJitter) + 1))
 		}
 		dst := n.nics[d]
 		arrive := txDone.Add(prof.SwitchDelay + prof.PropagationDelay)
-		n.Sim.At(arrive, func() {
+		n.Route(m.From, d, arrive, func() {
+			dsim, dtr := n.SimAt(d), n.TracerAt(d)
 			if !lost && !n.faults.Empty() &&
-				(n.faults.down(d, n.Sim.Now()) || n.faults.cut(m.From, d, n.Sim.Now())) {
+				(n.faults.down(d, dsim.Now()) || n.faults.cut(m.From, d, dsim.Now())) {
 				lost = true // dark member port or severed trunk: the copy vanishes
 			}
 			if lost {
 				dst.stats.UDDropped++
-				n.tr.Instant(n.Sim.Now(), telemetry.EvDrop, int32(d), m.ToQP, int64(m.Payload), 0)
+				dtr.Instant(dsim.Now(), telemetry.EvDrop, int32(d), m.ToQP, int64(m.Payload), 0)
 				if m.Dropped != nil {
 					m.Dropped()
 				}
 				return
 			}
-			rnow := n.Sim.Now()
+			rnow := dsim.Now()
 			marked := false
 			if prof.Lossy {
 				var tailDropped bool
@@ -886,7 +906,7 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 					prof.LinkBandwidth, true, rnow)
 				if tailDropped {
 					dst.stats.UDDropped++
-					n.tr.Instant(rnow, telemetry.EvTailDrop, int32(d), m.ToQP, int64(m.Payload), 1)
+					dtr.Instant(rnow, telemetry.EvTailDrop, int32(d), m.ToQP, int64(m.Payload), 1)
 					if m.Dropped != nil {
 						m.Dropped()
 					}
@@ -907,9 +927,9 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 			dst.stats.RxBytes += int64(m.Payload)
 			dst.stats.RxDataBytes += int64(wire)
 			if marked && n.onECN != nil {
-				n.Sim.At(rxDone, func() { n.onECN(m.From, d, m.FromQP, m.ToQP) })
+				dsim.At(rxDone, func() { n.onECN(m.From, d, m.FromQP, m.ToQP) })
 			}
-			n.Sim.At(rxDone.Add(jitter), func() { deliver(d, n.Sim.Now()) })
+			dsim.At(rxDone.Add(jitter), func() { deliver(d, dsim.Now()) })
 		})
 	}
 }
@@ -919,22 +939,25 @@ func (n *Network) TransmitMulticast(m *Message, dests []int, deliver func(dest i
 // the line rate but not the receive downlink.
 func (n *Network) loopback(m *Message) {
 	nc := n.nics[m.From]
+	// Self-addressed traffic never crosses partitions: the whole hairpin
+	// stays on the node's own clock at every LP count.
+	s := n.SimAt(m.From)
 	occ := n.Prof.WQEProcessing + n.touch(nc, m.FromQP) +
 		Serialize(m.Payload, n.Prof.LinkBandwidth)
-	start := n.Sim.Now()
+	start := s.Now()
 	if nc.txBusy > start {
 		start = nc.txBusy
 	}
 	done := start.Add(occ)
 	nc.txBusy = done
 	if m.Sent != nil {
-		n.Sim.At(done, func() { m.Sent(n.Sim.Now()) })
+		s.At(done, func() { m.Sent(s.Now()) })
 	}
 	nc.stats.TxMessages++
 	nc.stats.RxMessages++
 	nc.stats.TxBytes += int64(m.Payload)
 	nc.stats.RxBytes += int64(m.Payload)
-	n.Sim.At(done, func() { m.Deliver(n.Sim.Now()) })
+	s.At(done, func() { m.Deliver(s.Now()) })
 }
 
 // ReadTransfer models a one-sided RDMA Read: a small request packet travels

@@ -99,12 +99,18 @@ type host struct {
 }
 
 func newHost(net *fabric.Network, cfg Config, n, node int) *host {
+	// All three primitives live on the node's own partition sim: waking a
+	// waiter (kernel handoff, window ack, inbox broadcast) pushes a dispatch
+	// event onto the primitive's sim, and the Deliver callbacks below run on
+	// the destination partition — homing them on the control sim would leak
+	// events across partitions on a parallel (-lps) run.
+	hsim := net.SimAt(node)
 	h := &host{
 		net: net, cfg: cfg, n: n, node: node,
-		kernel:  net.Sim.NewMutex(fmt.Sprintf("ipoib-kernel@%d", node)),
+		kernel:  hsim.NewMutex(fmt.Sprintf("ipoib-kernel@%d", node)),
 		outWin:  make([]int, n),
-		winCond: net.Sim.NewCond(fmt.Sprintf("ipoib-win@%d", node)),
-		inCond:  net.Sim.NewCond(fmt.Sprintf("ipoib-in@%d", node)),
+		winCond: hsim.NewCond(fmt.Sprintf("ipoib-win@%d", node)),
+		inCond:  hsim.NewCond(fmt.Sprintf("ipoib-in@%d", node)),
 	}
 	for i := 0; i < 2*n; i++ {
 		h.appFree = append(h.appFree, make([]byte, cfg.BufSize))

@@ -208,7 +208,11 @@ func Build(p *sim.Proc, devs []*verbs.Device, cfg Config) *World {
 	for a, dev := range devs {
 		l := &lib{
 			w: w, dev: dev, cfg: cfg, n: n, node: a,
-			mu:          dev.Network().Sim.NewMutex(fmt.Sprintf("mpi@%d", a)),
+			// The library lock lives on the node's own partition sim: waking
+			// a queued waiter pushes a dispatch event onto the lock's sim, so
+			// homing it anywhere else would leak events across partitions on
+			// a parallel (-lps) run.
+			mu:          dev.Sim().NewMutex(fmt.Sprintf("mpi@%d", a)),
 			eagerSlot:   hdrSize + cfg.EagerLimit,
 			eagerCredit: make([]uint64, n),
 			eagerSent:   make([]uint64, n),

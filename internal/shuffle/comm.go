@@ -194,8 +194,11 @@ func Build(p *sim.Proc, devs []*verbs.Device, cfg Config, threads int) *Comm {
 		node := c.Nodes[a]
 		self := a
 		node.Dev.OnPeerDown(func(peer int) {
-			tr := node.Dev.Network().Tracer()
-			now := node.Dev.Network().Sim.Now()
+			// Runs on the device's own partition (the connection manager
+			// routes the peer-down verdict there), so the node's trace shard
+			// and clock are the right emission context.
+			tr := node.Dev.Network().TracerAt(self)
+			now := node.Dev.Sim().Now()
 			tr.Instant(now, telemetry.EvDrainPeer, int32(self), 0, int64(peer), 0)
 			for _, s := range node.Send {
 				if pd, ok := s.(PeerDrainer); ok {
@@ -298,6 +301,6 @@ func must(err error) {
 // B the granted value (absolute credit or buffer offset).
 func traceCredit(d *verbs.Device, peer int, value int64) {
 	net := d.Network()
-	net.Tracer().Instant(net.Sim.Now(), telemetry.EvCredit,
+	net.TracerAt(d.Node()).Instant(d.Sim().Now(), telemetry.EvCredit,
 		int32(d.Node()), 0, int64(peer), value)
 }

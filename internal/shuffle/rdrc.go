@@ -570,13 +570,13 @@ func newRDRCSend(dev *verbs.Device, cfg Config, n, tpe int) *rdRCSend {
 	pool := tpe * n * cfg.BuffersPerPeer
 	e := &rdRCSend{
 		dev: dev, cfg: cfg, n: n,
-		gate:     newEPGate(dev.Network().Sim, fmt.Sprintf("rd-send@%d", dev.Node())),
+		gate:     newEPGate(dev.Sim(), fmt.Sprintf("rd-send@%d", dev.Node())),
 		poolBufs: pool,
 		queueCap: pool + 1,
 		cons:     make([]int, n),
 		prod:     make([]int, n),
 		validWin: make([]remoteWin, n),
-		free:     sim.NewQueue[int](dev.Network().Sim, fmt.Sprintf("rd-free@%d", dev.Node())),
+		free:     sim.NewQueue[int](dev.Sim(), fmt.Sprintf("rd-free@%d", dev.Node())),
 		pending:  make(map[int]int),
 		failed:   make([]bool, n),
 		qpDest:   make(map[uint32]int),
@@ -603,7 +603,7 @@ func newRDRCRecv(dev *verbs.Device, cfg Config, n, tpe, senderPool int) *rdRCRec
 	perSrc := tpe * cfg.RecvBuffersPerPeer
 	e := &rdRCRecv{
 		dev: dev, cfg: cfg, n: n,
-		gate:       newEPGate(dev.Network().Sim, fmt.Sprintf("rd-recv@%d", dev.Node())),
+		gate:       newEPGate(dev.Sim(), fmt.Sprintf("rd-recv@%d", dev.Node())),
 		queueCap:   senderPool + 1,
 		cons:       make([]int, n),
 		prod:       make([]int, n),

@@ -499,8 +499,8 @@ func newSRRCSend(dev *verbs.Device, cfg Config, n, tpe int) *srRCSend {
 	e := &srRCSend{
 		dev: dev, cfg: cfg, n: n,
 		poolBufs: pool,
-		gate:     newEPGate(dev.Network().Sim, fmt.Sprintf("srrc-send@%d", dev.Node())),
-		free:     sim.NewQueue[int](dev.Network().Sim, fmt.Sprintf("srrc-free@%d", dev.Node())),
+		gate:     newEPGate(dev.Sim(), fmt.Sprintf("srrc-send@%d", dev.Node())),
+		free:     sim.NewQueue[int](dev.Sim(), fmt.Sprintf("srrc-free@%d", dev.Node())),
 		pending:  make(map[int]int),
 		sent:     make([]uint64, n),
 		failed:   make([]bool, n),
@@ -527,7 +527,7 @@ func newSRRCRecv(dev *verbs.Device, cfg Config, n, tpe int) *srRCRecv {
 	perSrc := tpe * cfg.RecvBuffersPerPeer
 	e := &srRCRecv{
 		dev: dev, cfg: cfg, n: n, perSrc: perSrc,
-		gate:         newEPGate(dev.Network().Sim, fmt.Sprintf("srrc-recv@%d", dev.Node())),
+		gate:         newEPGate(dev.Sim(), fmt.Sprintf("srrc-recv@%d", dev.Node())),
 		creditIssued: make([]uint64, n),
 		lastWritten:  make([]uint64, n),
 		creditWin:    make([]remoteWin, n),

@@ -511,9 +511,9 @@ func newSRUDSend(dev *verbs.Device, cfg Config, n, tpe int) *srUDSend {
 	pool := tpe * n * cfg.BuffersPerPeer
 	e := &srUDSend{
 		dev: dev, cfg: cfg, n: n, mtu: mtu,
-		gate:       newEPGate(dev.Network().Sim, fmt.Sprintf("srud-send@%d", dev.Node())),
+		gate:       newEPGate(dev.Sim(), fmt.Sprintf("srud-send@%d", dev.Node())),
 		poolBufs:   pool,
-		free:       sim.NewQueue[int](dev.Network().Sim, fmt.Sprintf("srud-free@%d", dev.Node())),
+		free:       sim.NewQueue[int](dev.Sim(), fmt.Sprintf("srud-free@%d", dev.Node())),
 		pending:    make(map[int]int),
 		creditSlot: verbs.GRHSize + HeaderSize,
 		sent:       make([]uint64, n),
@@ -555,7 +555,7 @@ func newSRUDRecv(dev *verbs.Device, cfg Config, n, tpe int) *srUDRecv {
 	slots := n * perSrc
 	e := &srUDRecv{
 		dev: dev, cfg: cfg, n: n, mtu: mtu,
-		gate:  newEPGate(dev.Network().Sim, fmt.Sprintf("srud-recv@%d", dev.Node())),
+		gate:  newEPGate(dev.Sim(), fmt.Sprintf("srud-recv@%d", dev.Node())),
 		slots: slots, slotSize: verbs.GRHSize + mtu, perSrc: perSrc,
 		ahs:          make([]verbs.AH, n),
 		creditIssued: make([]uint64, n),

@@ -462,10 +462,10 @@ func newWRRCSend(dev *verbs.Device, cfg Config, n, tpe, grantCap int) *wrRCSend 
 	pool := tpe * n * cfg.BuffersPerPeer
 	e := &wrRCSend{
 		dev: dev, cfg: cfg, n: n,
-		gate:     newEPGate(dev.Network().Sim, fmt.Sprintf("wr-send@%d", dev.Node())),
+		gate:     newEPGate(dev.Sim(), fmt.Sprintf("wr-send@%d", dev.Node())),
 		poolBufs: pool,
 		queueCap: grantCap,
-		free:     sim.NewQueue[int](dev.Network().Sim, fmt.Sprintf("wr-free@%d", dev.Node())),
+		free:     sim.NewQueue[int](dev.Sim(), fmt.Sprintf("wr-free@%d", dev.Node())),
 		pending:  make(map[int]int),
 		cons:     make([]int, n),
 		prod:     make([]int, n),
@@ -496,7 +496,7 @@ func newWRRCRecv(dev *verbs.Device, cfg Config, n, tpe int) *wrRCRecv {
 	perSrc := tpe * cfg.RecvBuffersPerPeer
 	e := &wrRCRecv{
 		dev: dev, cfg: cfg, n: n, perSrc: perSrc,
-		gate:       newEPGate(dev.Network().Sim, fmt.Sprintf("wr-recv@%d", dev.Node())),
+		gate:       newEPGate(dev.Sim(), fmt.Sprintf("wr-recv@%d", dev.Node())),
 		queueCap:   perSrc + 1,
 		cons:       make([]int, n),
 		prod:       make([]int, n),

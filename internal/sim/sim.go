@@ -64,6 +64,14 @@ type event struct {
 	// deadline the waiter with claim ticket wid times out if still waiting.
 	cond *Cond
 	wid  uint64
+	// rsrc/rseq carry a cross-partition delivery's merge key through the
+	// wheel: source actor + 1 and the source's send sequence (zero for
+	// locally scheduled events). Deliveries reach a bucket in barrier
+	// order, which shifts with the partition layout, so same-instant
+	// execution order is re-derived from this key at detach time — see
+	// chainCanon.
+	rsrc int
+	rseq uint64
 }
 
 // eventLess orders events by (time, schedule sequence): the global firing
@@ -107,6 +115,9 @@ type Simulation struct {
 	// dead is set by Shutdown; parked goroutines observe it on their next
 	// wake and exit instead of resuming their Proc body.
 	dead bool
+	// lpid is this simulation's logical-partition index when it belongs to
+	// a Group (see pdes.go); 0 otherwise.
+	lpid int
 }
 
 // New returns an empty simulation whose random source is seeded with seed.
@@ -148,6 +159,7 @@ func (s *Simulation) newEvent(at Time, fn func(), p *Proc) *event {
 	}
 	s.seq++
 	e.at, e.seq, e.fire, e.proc = at, s.seq, fn, p
+	e.rsrc, e.rseq = 0, 0
 	if p != nil {
 		e.pgen = p.gen
 	}
@@ -368,15 +380,18 @@ func (p *Proc) runBody() (completed bool) {
 	return true
 }
 
-// dispatch hands control to p and waits for it to block or finish.
-// It must run in scheduler context.
+// dispatch hands control to p and waits for it to block or finish. It must
+// run in scheduler context. The yield is received from p's own simulation:
+// normally that is s, but under partitioned execution (see pdes.go) a Proc
+// can be woken by another partition's event — e.g. a fused-phase Cond on a
+// different clock — and it hands control back on its owner's channel.
 func (s *Simulation) dispatch(p *Proc) {
 	if p.done {
 		return
 	}
 	p.blockedOn = ""
 	p.resume <- struct{}{}
-	<-s.yield
+	<-p.sim.yield
 }
 
 // block suspends the calling Proc until something calls s.ready(p),
@@ -419,7 +434,64 @@ func (p *Proc) Sleep(d Duration) {
 
 // Yield lets all other events scheduled for the current instant run before
 // the Proc continues.
-func (p *Proc) Yield() { p.Sleep(0) }
+//
+// Yield is the hottest proc-switch path (every poll loop spins on it), so it
+// shortcuts the scheduler where the outcome is already decided: after
+// queueing its own wakeup it pops same-instant dispatch events directly. A
+// self-dispatch (no other runnable work at this instant) returns with zero
+// channel operations; a dispatch of another Proc is a single direct
+// proc-to-proc handoff — the scheduler stays parked inside the current
+// dispatch and receives the yield from whichever Proc blocks next. Closure
+// and Cond-timeout events fall back to the scheduler, which must run them in
+// its own context. The observable schedule — (time, seq) firing order, the
+// fired counter, Proc wake order — is exactly the one Run would produce.
+func (p *Proc) Yield() {
+	s := p.sim
+	s.ringPush(s.newEvent(s.now, nil, p))
+	for {
+		var e *event
+		if e = s.chain; e != nil {
+			if e.at != s.now || e.fire != nil || e.cond != nil {
+				break
+			}
+			s.chain = e.next
+		} else if s.rlen > 0 {
+			e = s.ring[s.rhead]
+			if e.fire != nil || e.cond != nil {
+				break
+			}
+			s.ringPop()
+		} else {
+			break
+		}
+		// e is a proc dispatch or a cancelled timer at the current instant.
+		s.fired++
+		p2, gen := e.proc, e.pgen
+		s.releaseEvent(e)
+		if p2 == nil || p2.gen != gen || p2.done {
+			continue // cancelled timer or stale dispatch: pops as a no-op
+		}
+		if p2 == p {
+			return // self-dispatch: continue without a scheduler round-trip
+		}
+		p.blockedOn = "sleep"
+		p2.blockedOn = ""
+		p2.resume <- struct{}{}
+		<-p.resume
+		if s.dead {
+			panic(killProc{})
+		}
+		return
+	}
+	// Scheduler path: the wakeup is already queued, so this is Sleep(0)
+	// minus the push.
+	p.blockedOn = "sleep"
+	s.yield <- struct{}{}
+	<-p.resume
+	if s.dead {
+		panic(killProc{})
+	}
+}
 
 // DeadlockError is returned by Run when live Procs remain but the event
 // queue is empty, so no Proc can ever be woken again.

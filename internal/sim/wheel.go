@@ -137,7 +137,7 @@ func (s *Simulation) wheelAdvance() advResult {
 				}
 				b.head, b.tail = nil, nil
 				w.occ[0][slot>>6] &^= 1 << uint(slot&63)
-				s.chain = h
+				s.chain = chainCanon(h)
 				return advFound
 			}
 			// Virtual time is entering this stride: cascade its bucket down.
@@ -186,6 +186,59 @@ func (s *Simulation) wheelAdvance() advResult {
 			h = n
 		}
 	}
+}
+
+// chainCanon puts a detached same-instant chain into canonical execution
+// order: locally scheduled events first, in schedule order, then
+// cross-partition deliveries by their (source actor, send sequence) key.
+// Local push order is already deterministic per partition — it follows the
+// partition's own execution — but deliveries append in barrier order, and
+// window bounds move with the partition count: two deliveries for one
+// instant can split across different barriers under one layout and share a
+// single merged flush under another, swapping their FIFO positions. Keying
+// ties off (rsrc, rseq) makes the executed order a pure function of the
+// event set, which the cross-layout byte-identity contract requires. The
+// single-wheel engine never stamps rsrc, so it takes the scan-only fast
+// path.
+func chainCanon(h *event) *event {
+	e := h
+	for e != nil && e.rsrc == 0 {
+		e = e.next
+	}
+	if e == nil {
+		return h
+	}
+	var lh, lt, rh *event // locals head/tail; deliveries head, sorted
+	for e = h; e != nil; {
+		n := e.next
+		if e.rsrc == 0 {
+			e.next = nil
+			if lt == nil {
+				lh = e
+			} else {
+				lt.next = e
+			}
+			lt = e
+		} else {
+			// Insertion sort: ties at one instant are nearly always 1-2
+			// events, so quadratic worst case is fine.
+			var prev *event
+			for c := rh; c != nil && (c.rsrc < e.rsrc || (c.rsrc == e.rsrc && c.rseq < e.rseq)); c = c.next {
+				prev = c
+			}
+			if prev == nil {
+				e.next, rh = rh, e
+			} else {
+				e.next, prev.next = prev.next, e
+			}
+		}
+		e = n
+	}
+	if lt == nil {
+		return rh
+	}
+	lt.next = rh
+	return lh
 }
 
 // scan returns the first occupied slot ≥ from at level lvl, or -1. The

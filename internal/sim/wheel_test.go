@@ -238,6 +238,28 @@ func TestSpawnJoinZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestProcYieldZeroAlloc guards the direct-handoff Yield fast path: a
+// self-dispatch must complete with no allocation (and no channel round
+// trip, which is what the ProcYield benchmark times).
+func TestProcYieldZeroAlloc(t *testing.T) {
+	s := New(1)
+	var allocs float64
+	s.Spawn("yielder", func(p *Proc) {
+		for i := 0; i < 64; i++ { // warm-up
+			p.Yield()
+		}
+		allocs = testing.AllocsPerRun(1000, func() {
+			p.Yield()
+		})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Fatalf("Yield allocates %.1f times per op, want 0", allocs)
+	}
+}
+
 // TestCondSignalWakeZeroAlloc guards the by-value waiter queue: the
 // Signal → dispatch → re-Wait cycle must not allocate at steady state.
 func TestCondSignalWakeZeroAlloc(t *testing.T) {
@@ -295,5 +317,60 @@ func TestWaitTimeoutZeroAlloc(t *testing.T) {
 	}
 	if allocs != 0 {
 		t.Fatalf("WaitTimeout allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestChainCanonDeliveryOrder pins the canonical same-instant execution
+// order the partitioned engine depends on: locally scheduled events fire in
+// schedule order, and cross-partition deliveries — stamped with their
+// (source, sequence) merge key — fire after them in key order, regardless
+// of the order they were pushed into the bucket. Delivery push order is
+// barrier order, which shifts with the partition layout, so any dependence
+// on it would break cross-layout byte-identity (the fig. 9 regression: two
+// messages serialized at the same instant toward one receiver swapped
+// their ACK order between LP counts).
+func TestChainCanonDeliveryOrder(t *testing.T) {
+	const T = Time(100)
+	// Each push records a tag; the canonical firing order must come out
+	// identical for every delivery push order.
+	run := func(order []int) []string {
+		s := New(1)
+		var fired []string
+		local := func(tag string) {
+			s.At(T, func() { fired = append(fired, tag) })
+		}
+		delivery := func(src int, seq uint64, tag string) {
+			e := s.newEvent(T, func() { fired = append(fired, tag) }, nil)
+			e.rsrc, e.rseq = src, seq
+			s.wheelPush(e)
+		}
+		local("l0")
+		// Deliveries keyed (src, seq); push order permuted per run.
+		devs := []func(){
+			func() { delivery(3, 1, "d:3,1") },
+			func() { delivery(2, 7, "d:2,7") },
+			func() { delivery(2, 4, "d:2,4") },
+			func() { delivery(5, 2, "d:5,2") },
+		}
+		for _, i := range order {
+			devs[i]()
+		}
+		local("l1")
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fired
+	}
+	want := []string{"l0", "l1", "d:2,4", "d:2,7", "d:3,1", "d:5,2"}
+	for _, order := range [][]int{{0, 1, 2, 3}, {3, 2, 1, 0}, {2, 0, 3, 1}, {1, 3, 0, 2}} {
+		got := run(order)
+		if len(got) != len(want) {
+			t.Fatalf("order %v: fired %v, want %v", order, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("order %v: fired %v, want %v", order, got, want)
+			}
+		}
 	}
 }

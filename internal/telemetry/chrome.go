@@ -15,12 +15,18 @@ import (
 // The output is a pure function of the event sequence: with a deterministic
 // simulation, two same-seed runs produce byte-identical files.
 func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	return WriteChromeEvents(w, t.Events())
+}
+
+// WriteChromeEvents is WriteChromeTrace over an explicit event stream — the
+// shape a partitioned run produces after MergeShards.
+func WriteChromeEvents(w io.Writer, events []Event) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
 		return err
 	}
 	first := true
-	for _, e := range t.Events() {
+	for _, e := range events {
 		if !first {
 			if _, err := bw.WriteString(",\n"); err != nil {
 				return err

@@ -145,7 +145,7 @@ func (d *Device) CreateQP(cfg QPConfig) *QP {
 		dev: d,
 		qpn: d.nextQPN,
 		cfg: cfg,
-		mu:  d.net.Sim.NewMutex(fmt.Sprintf("qp%d@%d", d.nextQPN, d.node)),
+		mu:  d.sim.NewMutex(fmt.Sprintf("qp%d@%d", d.nextQPN, d.node)),
 	}
 	d.qps[qp.qpn] = qp
 	return qp
@@ -205,10 +205,27 @@ func (qp *QP) fencedAt(responder *Device, wrID uint64, op Opcode) bool {
 		return false
 	}
 	responder.stats.StaleFenced++
-	responder.tr().Instant(responder.net.Sim.Now(), telemetry.EvStaleFenced,
+	responder.tr().Instant(responder.sim.Now(), telemetry.EvStaleFenced,
 		int32(responder.node), qp.cacheKey(), int64(qp.dev.node), int64(responder.epoch))
-	qp.enterError(CQE{QPN: qp.qpn, WRID: wrID, Op: op, Status: WCFenced})
+	qp.errorFrom(responder, CQE{QPN: qp.qpn, WRID: wrID, Op: op, Status: WCFenced})
 	return true
+}
+
+// errorFrom transitions qp into the Error state from an event executing on
+// exec's partition. A queue pair's state may only be touched by its own
+// partition, so on a partitioned network a remote responder's verdict (fence,
+// peer-error, RNR exhaustion) rides the fabric home as a routed NAK, arriving
+// one route latency later — exactly the wire trip the verdict takes on real
+// hardware. Same-node and legacy callers transition synchronously, keeping
+// the single-simulation path byte-identical.
+func (qp *QP) errorFrom(exec *Device, e CQE) {
+	net := qp.dev.net
+	if net.Partitioned() && exec.node != qp.dev.node {
+		net.Route(exec.node, qp.dev.node, exec.sim.Now().Add(net.Prof.RouteLatency()),
+			func() { qp.enterError(e) })
+		return
+	}
+	qp.enterError(e)
 }
 
 // PostRecv posts a receive buffer. The buffer must stay untouched until its
@@ -280,7 +297,7 @@ func (qp *QP) PostSend(p *sim.Proc, wr SendWR) error {
 		qp.inflight = append(qp.inflight, inflightWR{wr.ID, wr.Op})
 		// The WR lifecycle span opens at post time and closes when the
 		// completion is generated (complete) or the WR is flushed.
-		qp.dev.tr().Begin(qp.dev.net.Sim.Now(), telemetry.EvWR,
+		qp.dev.tr().Begin(qp.dev.sim.Now(), telemetry.EvWR,
 			int32(qp.dev.node), qp.cacheKey(), int64(wr.ID), int64(wr.Op))
 	}
 	qp.mu.Unlock(p)
@@ -299,7 +316,7 @@ func (qp *QP) complete(cq *CQ, e CQE) {
 	}
 	qp.dropInflight(e.WRID, e.Op)
 	qp.outstanding--
-	qp.dev.tr().End(qp.dev.net.Sim.Now(), telemetry.EvWR,
+	qp.dev.tr().End(qp.dev.sim.Now(), telemetry.EvWR,
 		int32(qp.dev.node), qp.cacheKey(), int64(e.WRID), int64(e.Status))
 	cq.push(e)
 }
@@ -326,7 +343,7 @@ func (qp *QP) enterError(trigger CQE) {
 	qp.state = QPError
 	qp.cancelRetx()
 	qp.dev.stats.QPErrors++
-	now := qp.dev.net.Sim.Now()
+	now := qp.dev.sim.Now()
 	qp.dev.tr().Instant(now, telemetry.EvQPError,
 		int32(qp.dev.node), qp.cacheKey(), int64(trigger.Status), 0)
 	if qp.dropInflight(trigger.WRID, trigger.Op) {
@@ -363,7 +380,7 @@ func (qp *QP) forceError(st WCStatus) {
 	qp.state = QPError
 	qp.cancelRetx()
 	qp.dev.stats.QPErrors++
-	now := qp.dev.net.Sim.Now()
+	now := qp.dev.sim.Now()
 	qp.dev.tr().Instant(now, telemetry.EvQPError,
 		int32(qp.dev.node), qp.cacheKey(), int64(st), 0)
 	for _, w := range qp.inflight {
@@ -499,14 +516,19 @@ func (qp *QP) deliverRC(toNode int, toQPN uint32, payload []byte, wr SendWR) {
 	if rqp == nil || rqp.destroyed || rqp.cfg.Type != fabric.RC {
 		panic(fmt.Sprintf("verbs: RC send to nonexistent QP %d on node %d", toQPN, toNode))
 	}
-	if qp.state == QPError {
-		// Late arrival of a send that was already flushed at the source.
+	net := qp.dev.net
+	if !net.Partitioned() && qp.state == QPError {
+		// Late arrival of a send that was already flushed at the source. On a
+		// partitioned network this executes on the receiver's partition and
+		// the sender's state cannot be read here; the late success is instead
+		// dropped by complete()'s own error-state guard when the routed ACK
+		// reaches home — the same hardware behaviour, judged one trip later.
 		return
 	}
 	if rqp.state == QPError {
 		// The peer flushed its receive queue and will never post again; the
 		// sender observes the broken connection as retry exhaustion.
-		qp.enterError(CQE{QPN: qp.qpn, WRID: wr.ID, Op: OpSend, Status: WCRetryExceeded})
+		qp.errorFrom(rqp.dev, CQE{QPN: qp.qpn, WRID: wr.ID, Op: OpSend, Status: WCRetryExceeded})
 		return
 	}
 	if qp.fencedAt(dst, wr.ID, OpSend) {
@@ -515,8 +537,16 @@ func (qp *QP) deliverRC(toNode int, toQPN uint32, payload []byte, wr SendWR) {
 		return
 	}
 	if len(rqp.stalled) > 0 || len(rqp.recvQ) == 0 {
-		qp.dev.stats.RNRRetries++
-		qp.dev.tr().Instant(qp.dev.net.Sim.Now(), telemetry.EvRNRRetry,
+		// The RNR NAK is generated here, at the responder; partitioned runs
+		// therefore count it on the responder device (whose partition is
+		// executing), while the legacy path keeps its historical requester
+		// attribution byte-for-byte.
+		if net.Partitioned() {
+			rqp.dev.stats.RNRRetries++
+		} else {
+			qp.dev.stats.RNRRetries++
+		}
+		rqp.dev.tr().Instant(rqp.dev.sim.Now(), telemetry.EvRNRRetry,
 			int32(toNode), rqp.cacheKey(), int64(wr.ID), 0)
 		rqp.stalled = append(rqp.stalled, stalledRC{payload: payload, wr: wr, src: qp})
 		rqp.armRNRTimer()
@@ -544,10 +574,18 @@ func (rqp *QP) match(m stalledRC) {
 	})
 	// Sender completion once the ACK returns.
 	src, wrID, n := m.src, m.wr.ID, len(m.payload)
-	net.Sim.After(net.Prof.PropagationDelay, func() {
+	ack := func() {
 		src.dev.stats.SendsCompleted++
 		src.complete(src.cfg.SendCQ, CQE{QPN: src.qpn, WRID: wrID, Op: OpSend, Bytes: n})
-	})
+	}
+	if net.Partitioned() && src.dev.node != rqp.dev.node {
+		// Partitioned: the ACK rides the fabric back to the sender's
+		// partition, paying the full route latency (switch + propagation) so
+		// its arrival clears the window bound at any LP count.
+		net.Route(rqp.dev.node, src.dev.node, rqp.dev.sim.Now().Add(net.Prof.RouteLatency()), ack)
+	} else {
+		src.dev.sim.After(net.Prof.PropagationDelay, ack)
+	}
 }
 
 // armRNRTimer schedules one RNR retry round after RNRRetryDelay, unless one
@@ -561,7 +599,7 @@ func (rqp *QP) armRNRAfter(d sim.Duration) {
 		return
 	}
 	rqp.drainPending = true
-	rqp.dev.net.Sim.After(d, func() { rqp.rnrTick() })
+	rqp.dev.sim.After(d, func() { rqp.rnrTick() })
 }
 
 // rnrTick runs one RNR retry round.
@@ -584,7 +622,7 @@ func (rqp *QP) rnrTick() {
 	head := &rqp.stalled[0]
 	head.retries++
 	rqp.dev.stats.RNRRetries++
-	rqp.dev.tr().Instant(rqp.dev.net.Sim.Now(), telemetry.EvRNRRetry,
+	rqp.dev.tr().Instant(rqp.dev.sim.Now(), telemetry.EvRNRRetry,
 		int32(rqp.dev.node), rqp.cacheKey(), int64(head.wr.ID), int64(head.retries))
 	if lim := rqp.dev.prof().RNRRetryCount; lim > 0 && head.retries > lim {
 		// rnr_retry exhausted: the sender QP breaks. Every message it has
@@ -598,7 +636,7 @@ func (rqp *QP) rnrTick() {
 			}
 		}
 		rqp.stalled = kept
-		src.enterError(CQE{QPN: src.qpn, WRID: id, Op: OpSend, Status: WCRNRRetryExceeded})
+		src.errorFrom(rqp.dev, CQE{QPN: src.qpn, WRID: id, Op: OpSend, Status: WCRNRRetryExceeded})
 	}
 	if len(rqp.stalled) > 0 {
 		// Successive NAKs advertise geometrically growing RNR timers, so
@@ -738,10 +776,17 @@ func (qp *QP) postWrite(p *sim.Proc, wr SendWR) error {
 		copy(rmr.Buf[wr.RemoteOffset:], payload)
 		remote.stats.RemoteWrites++
 		remote.memWake.Broadcast()
-		net.Sim.After(net.Prof.PropagationDelay, func() {
+		ack := func() {
 			qp.dev.stats.WritesCompleted++
 			qp.complete(qp.cfg.SendCQ, CQE{QPN: qp.qpn, WRID: wr.ID, Op: OpWrite, Bytes: wr.Len})
-		})
+		}
+		if net.Partitioned() && qp.dev.node != remote.node {
+			// The write ACK routes back to the requester's partition at the
+			// full route latency, clearing the window bound at any LP count.
+			net.Route(remote.node, qp.dev.node, remote.sim.Now().Add(net.Prof.RouteLatency()), ack)
+		} else {
+			qp.dev.sim.After(net.Prof.PropagationDelay, ack)
+		}
 	}
 	qp.armRetry(msg, wr.ID, OpWrite)
 	qp.sendPaced(msg)

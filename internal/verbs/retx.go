@@ -38,7 +38,7 @@ type retxState struct {
 func (qp *QP) armRetry(msg *fabric.Message, wrID uint64, op Opcode) {
 	prof := qp.dev.prof()
 	attempts := 0
-	msg.Dropped = func() {
+	drop := func() {
 		if qp.state == QPError || qp.destroyed {
 			return
 		}
@@ -48,11 +48,25 @@ func (qp *QP) armRetry(msg *fabric.Message, wrID uint64, op Opcode) {
 			return
 		}
 		qp.dev.stats.TransportRetries++
-		qp.dev.tr().Instant(qp.dev.net.Sim.Now(), telemetry.EvTransportRetry,
+		qp.dev.tr().Instant(qp.dev.sim.Now(), telemetry.EvTransportRetry,
 			int32(qp.dev.node), qp.cacheKey(), int64(wrID), int64(attempts))
 		qp.retx.queue = append(qp.retx.queue, msg)
 		qp.armRetxTimer()
 	}
+	net := qp.dev.net
+	if net.Partitioned() && msg.To != qp.dev.node {
+		// The fabric reports a loss from the receiving end of the wire (the
+		// arrival event that never delivered), which on a partitioned network
+		// is another partition. The loss verdict — real hardware's timeout or
+		// NAK — routes home before touching the QP's retransmission engine.
+		to := msg.To
+		msg.Dropped = func() {
+			exec := net.SimAt(to)
+			net.Route(to, qp.dev.node, exec.Now().Add(net.Prof.RouteLatency()), drop)
+		}
+		return
+	}
+	msg.Dropped = drop
 }
 
 // armRetxTimer starts the QP's retransmission timer unless one is already
@@ -62,7 +76,7 @@ func (qp *QP) armRetxTimer() {
 		return
 	}
 	qp.retx.armed = true
-	qp.retx.timer = qp.dev.net.Sim.AfterTimer(qp.dev.prof().TransportRetryDelay, qp.retxFire)
+	qp.retx.timer = qp.dev.sim.AfterTimer(qp.dev.prof().TransportRetryDelay, qp.retxFire)
 }
 
 // retxFire replays the lost window in queue order (go-back-N). Replays go
@@ -77,7 +91,18 @@ func (qp *QP) retxFire() {
 	qp.retx.armed = false
 	window := qp.retx.queue
 	qp.retx.queue = nil
+	net := qp.dev.net
 	for _, m := range window {
+		if net.Partitioned() && m.From != qp.dev.node {
+			// A remote-NIC leg (an RDMA Read response) replays on the NIC
+			// that owns it. Partitioned profiles are lossless, so there is no
+			// pacer state to consult on the far side — the bare Transmit is
+			// exactly what sendPaced reduces to there.
+			m := m
+			net.Route(qp.dev.node, m.From, qp.dev.sim.Now().Add(net.Prof.RouteLatency()),
+				func() { net.Transmit(m) })
+			continue
+		}
 		qp.sendPaced(m)
 	}
 }

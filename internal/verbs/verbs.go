@@ -101,7 +101,12 @@ const (
 
 // Device is a per-node verbs context (the result of ibv_open_device).
 type Device struct {
-	net     *fabric.Network
+	net *fabric.Network
+	// sim owns this device's events: the node's partition on a partitioned
+	// network, the shared simulation otherwise. Every event that touches
+	// device state executes on it; cross-device interactions route through
+	// the fabric (see errorFrom, match, postWrite).
+	sim     *sim.Simulation
 	node    int
 	nextQPN uint32
 	nextKey uint32
@@ -182,12 +187,18 @@ func Open(net *fabric.Network, node int) *Device {
 		rl:    make(map[uint32]*dcqcn),
 		epoch: 1,
 	}
-	d.memWake = net.Sim.NewCond(fmt.Sprintf("memwake@%d", node))
+	d.sim = net.SimAt(node)
+	d.memWake = d.sim.NewCond(fmt.Sprintf("memwake@%d", node))
 	return d
 }
 
 // Node returns the fabric node id of this device.
 func (d *Device) Node() int { return d.node }
+
+// Sim returns the simulation owning this device's events — the node's
+// partition when the network is partitioned across logical partitions, the
+// shared simulation otherwise. Procs driving this device must run on it.
+func (d *Device) Sim() *sim.Simulation { return d.sim }
 
 // Network returns the underlying fabric.
 func (d *Device) Network() *fabric.Network { return d.net }
@@ -230,9 +241,10 @@ func (d *Device) PublishMetrics(reg *telemetry.Registry) {
 
 func (d *Device) prof() *fabric.Profile { return &d.net.Prof }
 
-// tr returns the network's tracer; nil (tracing disabled) is safe to emit
-// on, so callers never branch.
-func (d *Device) tr() *telemetry.Tracer { return d.net.Tracer() }
+// tr returns the tracer for events executing on this device's partition —
+// the node's shard when partitioned, the shared tracer otherwise; nil
+// (tracing disabled) is safe to emit on, so callers never branch.
+func (d *Device) tr() *telemetry.Tracer { return d.net.TracerAt(d.node) }
 
 // MR is a registered memory region. Buf is the pinned memory itself; remote
 // peers address it by (RKey, offset).
@@ -341,7 +353,7 @@ func (d *Device) NotifyPeerUp(peer int) {
 		return
 	}
 	delete(d.deadPeers, peer)
-	d.tr().Instant(d.net.Sim.Now(), telemetry.EvPeerUp, int32(d.node), 0, int64(peer), 0)
+	d.tr().Instant(d.sim.Now(), telemetry.EvPeerUp, int32(d.node), 0, int64(peer), 0)
 	for _, fn := range d.peerUpFns {
 		fn(peer)
 	}
@@ -369,7 +381,7 @@ func (d *Device) NotifyPeerDown(peer int) {
 		d.deadPeers = make(map[int]bool)
 	}
 	d.deadPeers[peer] = true
-	d.tr().Instant(d.net.Sim.Now(), telemetry.EvPeerDown, int32(d.node), 0, int64(peer), 0)
+	d.tr().Instant(d.sim.Now(), telemetry.EvPeerDown, int32(d.node), 0, int64(peer), 0)
 	// QPNs ascend from 1; iterating them in order keeps teardown (and thus
 	// the flush-completion order) deterministic across runs.
 	for qpn := uint32(1); qpn <= d.nextQPN; qpn++ {
@@ -466,7 +478,7 @@ func (d *Device) CreateCQ(capacity int) *CQ {
 	return &CQ{
 		dev:  d,
 		cap:  capacity,
-		cond: d.net.Sim.NewCond(fmt.Sprintf("cq@%d", d.node)),
+		cond: d.sim.NewCond(fmt.Sprintf("cq@%d", d.node)),
 	}
 }
 
@@ -500,7 +512,7 @@ func (cq *CQ) Poll(p *sim.Proc, dst []CQE) int {
 	if n > 0 {
 		// Empty polls are the receive loop's idle spin; only fruitful ones
 		// carry timeline information worth a trace slot.
-		cq.dev.tr().Instant(cq.dev.net.Sim.Now(), telemetry.EvCQPoll, int32(cq.dev.node), 0, int64(n), 0)
+		cq.dev.tr().Instant(cq.dev.sim.Now(), telemetry.EvCQPoll, int32(cq.dev.node), 0, int64(n), 0)
 	}
 	return n
 }
